@@ -1,0 +1,49 @@
+# Development entry points for the AMF reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments experiments-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/
+	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=30s ./internal/qosdb/
+
+# Regenerate every table and figure at the default reduced scale.
+experiments:
+	$(GO) run ./cmd/amfbench -exp all
+
+# The paper's full 142x4500x64 shape (slow; Table I alone takes minutes).
+experiments-paper:
+	$(GO) run ./cmd/amfbench -exp all -scale paper -rounds 20
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/adaptation
+	$(GO) run ./examples/onlineserver
+	$(GO) run ./examples/churn
+	$(GO) run ./examples/offline
+	$(GO) run ./examples/streamingest
+	$(GO) run ./examples/operations
+
+clean:
+	$(GO) clean ./...

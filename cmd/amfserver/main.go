@@ -1,0 +1,140 @@
+// Command amfserver runs the QoS prediction service (framework Fig. 3):
+// an HTTP/JSON endpoint that collects observed QoS data from service
+// users, keeps an AMF model updated online, and serves predictions for
+// candidate-service selection.
+//
+//	amfserver -addr :8080 -attr RT
+//	curl -XPOST localhost:8080/api/v1/observe -d '{"observations":[{"user":"u1","service":"s1","value":1.4}]}'
+//	curl 'localhost:8080/api/v1/predict?user=u1&service=s1'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/ingest"
+	"github.com/qoslab/amf/internal/qosdb"
+	"github.com/qoslab/amf/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "amfserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("amfserver", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		attrFlag = fs.String("attr", "RT", "QoS attribute served: RT or TP")
+		expiry   = fs.Duration("expiry", 15*time.Minute, "observation expiry (paper: one 15-minute slice)")
+		replay   = fs.Duration("replay-interval", 100*time.Millisecond, "background replay tick")
+		batch    = fs.Int("replay-batch", 500, "replay updates per tick")
+		seed     = fs.Int64("seed", 1, "model seed")
+		state    = fs.String("state", "", "state file: restored at startup if present, saved on shutdown")
+		wal      = fs.String("wal", "", "QoS database write-ahead log; observations are appended and replayed at startup (pair with -state so IDs resolve)")
+		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var attr dataset.Attribute
+	switch strings.ToUpper(*attrFlag) {
+	case "RT":
+		attr = dataset.ResponseTime
+	case "TP":
+		attr = dataset.Throughput
+	default:
+		return fmt.Errorf("unknown attribute %q", *attrFlag)
+	}
+	rmin, rmax := attr.Range()
+	cfg := core.DefaultConfig(attr.DefaultAlpha(), rmin, rmax)
+	cfg.Expiry = *expiry
+	cfg.Seed = *seed
+	model, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	svc := server.New(model)
+	if *state != "" {
+		if data, err := os.ReadFile(*state); err == nil {
+			if err := svc.LoadState(data); err != nil {
+				return fmt.Errorf("restore state from %s: %w", *state, err)
+			}
+			log.Printf("amfserver: restored state from %s", *state)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("read state file: %w", err)
+		}
+	}
+	if *wal != "" {
+		db, err := qosdb.Open(*wal)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		svc.SetStore(db)
+		if n := svc.ReplayStore(-1); n > 0 {
+			log.Printf("amfserver: replayed %d observations from %s", n, *wal)
+		}
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *ingestAt != "" {
+		ln, err := ingest.Listen(*ingestAt, svc)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go func() {
+			if err := ln.Serve(ctx); err != nil {
+				log.Printf("amfserver: ingest listener: %v", err)
+			}
+		}()
+		log.Printf("amfserver: stream ingest on %s", ln.Addr())
+	}
+	go svc.RunReplay(ctx, *replay, *batch)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("amfserver: serving %s predictions on %s (d=%d, eta=%g, beta=%g, alpha=%g)",
+		attr, *addr, cfg.Rank, cfg.LearnRate, cfg.Beta, cfg.Alpha)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if *state != "" {
+		data, err := svc.SaveState()
+		if err != nil {
+			return fmt.Errorf("snapshot state: %w", err)
+		}
+		if err := os.WriteFile(*state, data, 0o644); err != nil {
+			return fmt.Errorf("write state file: %w", err)
+		}
+		log.Printf("amfserver: saved state to %s", *state)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadAttr(t *testing.T) {
+	if err := run([]string{"-attr", "XX"}); err == nil {
+		t.Fatal("bad attribute should error")
+	}
+}
+
+func TestRunRejectsCorruptStateFile(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.bin")
+	if err := os.WriteFile(state, []byte("not a state file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-state", state, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("corrupt state should abort startup")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

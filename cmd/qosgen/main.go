@@ -1,0 +1,118 @@
+// Command qosgen materializes the synthetic WS-DREAM-like QoS dataset to
+// disk in the triplet text format, for consumption by external tools or
+// the examples:
+//
+//	qosgen -out rtdata.txt -attr RT -slices 0-3 -density 0.3
+//	qosgen -out tpdata.txt -attr TP -users 142 -services 4500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/qoslab/amf/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qosgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qosgen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "", "output file (default stdout)")
+		attrFlag = fs.String("attr", "RT", "attribute: RT or TP")
+		users    = fs.Int("users", 142, "number of users")
+		services = fs.Int("services", 4500, "number of services")
+		slices   = fs.Int("slices", 64, "number of time slices in the dataset")
+		rng      = fs.String("range", "0-0", "slice range to emit, inclusive (e.g. 0-3)")
+		density  = fs.Float64("density", 1, "fraction of cells to emit per slice (0,1]")
+		seed     = fs.Int64("seed", 2014, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var attr dataset.Attribute
+	switch strings.ToUpper(*attrFlag) {
+	case "RT":
+		attr = dataset.ResponseTime
+	case "TP":
+		attr = dataset.Throughput
+	default:
+		return fmt.Errorf("unknown attribute %q", *attrFlag)
+	}
+	lo, hi, err := parseRange(*rng)
+	if err != nil {
+		return err
+	}
+	if *density <= 0 || *density > 1 {
+		return fmt.Errorf("density %g out of (0,1]", *density)
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.Users, cfg.Services, cfg.Slices, cfg.Seed = *users, *services, *slices, *seed
+	gen, err := dataset.New(cfg)
+	if err != nil {
+		return err
+	}
+	if hi >= cfg.Slices {
+		return fmt.Errorf("slice range %d-%d exceeds dataset slices %d", lo, hi, cfg.Slices)
+	}
+
+	sampler := rand.New(rand.NewSource(*seed + 1))
+	var triplets []dataset.Triplet
+	for t := lo; t <= hi; t++ {
+		for i := 0; i < cfg.Users; i++ {
+			for j := 0; j < cfg.Services; j++ {
+				if *density < 1 && sampler.Float64() >= *density {
+					continue
+				}
+				triplets = append(triplets, dataset.Triplet{
+					User: i, Service: j, Slice: t,
+					Value: gen.Value(attr, i, j, t),
+				})
+			}
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteTriplets(w, attr, cfg.Users, cfg.Services, cfg.Slices, triplets); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qosgen: wrote %d triplets (%s, slices %d-%d, density %.2f)\n",
+		len(triplets), attr, lo, hi, *density)
+	return nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	loS, hiS, ok := strings.Cut(s, "-")
+	if !ok {
+		hiS = loS
+	}
+	if lo, err = strconv.Atoi(strings.TrimSpace(loS)); err != nil {
+		return 0, 0, fmt.Errorf("bad slice range %q", s)
+	}
+	if hi, err = strconv.Atoi(strings.TrimSpace(hiS)); err != nil {
+		return 0, 0, fmt.Errorf("bad slice range %q", s)
+	}
+	if lo < 0 || hi < lo {
+		return 0, 0, fmt.Errorf("bad slice range %d-%d", lo, hi)
+	}
+	return lo, hi, nil
+}

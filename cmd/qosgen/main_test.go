@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/qoslab/amf/internal/dataset"
+)
+
+func TestQosgenWritesReadableTriplets(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rt.txt")
+	err := run([]string{
+		"-out", out, "-attr", "RT",
+		"-users", "6", "-services", "10", "-slices", "4",
+		"-range", "0-1", "-density", "0.5", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	attr, users, services, slices, ts, err := dataset.ReadTriplets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != dataset.ResponseTime || users != 6 || services != 10 || slices != 4 {
+		t.Fatalf("shape: %v %d %d %d", attr, users, services, slices)
+	}
+	if len(ts) == 0 {
+		t.Fatal("no triplets written")
+	}
+	// ~50% density over 2 slices of 60 cells = ~60 triplets.
+	if len(ts) < 30 || len(ts) > 90 {
+		t.Fatalf("triplet count %d implausible for density 0.5", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Slice > 1 {
+			t.Fatalf("triplet outside requested slice range: %+v", tr)
+		}
+		if tr.Value <= 0 || tr.Value > 20 {
+			t.Fatalf("RT value out of range: %+v", tr)
+		}
+	}
+}
+
+func TestQosgenDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	args := func(out string) []string {
+		return []string{"-out", out, "-users", "5", "-services", "8", "-slices", "2", "-seed", "3"}
+	}
+	if err := run(args(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(b)); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed must produce identical files")
+	}
+}
+
+func TestQosgenFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"bad attr":        {"-attr", "XX"},
+		"bad range":       {"-range", "x-y"},
+		"reversed range":  {"-range", "3-1"},
+		"range too large": {"-slices", "2", "-range", "0-5"},
+		"bad density":     {"-density", "0"},
+		"density over 1":  {"-density", "1.5"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange("2-5")
+	if err != nil || lo != 2 || hi != 5 {
+		t.Fatalf("parseRange(2-5) = %d,%d,%v", lo, hi, err)
+	}
+	lo, hi, err = parseRange("7")
+	if err != nil || lo != 7 || hi != 7 {
+		t.Fatalf("parseRange(7) = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := parseRange("-1-2"); err == nil {
+		t.Fatal("negative range should error")
+	}
+}

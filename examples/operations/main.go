@@ -1,0 +1,93 @@
+// Operations: the day-2 story of running the QoS prediction service —
+// state snapshots for restarts, the /metrics counters, and the /flagged
+// endpoint that surfaces which users and services the model is currently
+// unsure about (fresh joiners and shifted QoS regimes), so operators and
+// adaptation policies can treat their predictions with caution.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"github.com/qoslab/amf/internal/client"
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/server"
+)
+
+func main() {
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	// Seed a converged fleet and let replay tighten the factors.
+	var obs []server.Observation
+	for u := 0; u < 8; u++ {
+		for s := 0; s < 12; s++ {
+			obs = append(obs, server.Observation{
+				User:    fmt.Sprintf("app-%d", u),
+				Service: fmt.Sprintf("ws-%d", s),
+				Value:   0.4 + 0.1*float64((u+2)*(s+1)%9),
+			})
+		}
+	}
+	if _, err := c.Observe(ctx, obs); err != nil {
+		log.Fatal(err)
+	}
+	// One joiner with a single observation: the model cannot trust its
+	// predictions yet.
+	if _, err := c.Observe(ctx, []server.Observation{
+		{User: "app-new", Service: "ws-0", Value: 5},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	flagged, err := c.Flagged(ctx, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entities flagged at error >= 0.6: %d users, %d services\n",
+		len(flagged.Users), len(flagged.Services))
+	for _, f := range flagged.Users {
+		fmt.Printf("  user %-8s tracked error %.2f\n", f.Name, f.Error)
+	}
+
+	// /metrics: the scrape a monitoring stack would take.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected /metrics lines:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "amf_observations_total") ||
+			strings.HasPrefix(line, "amf_model_users") ||
+			strings.HasPrefix(line, "amf_model_updates_total") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// Snapshot for restart: state travels as opaque bytes.
+	snap, err := http.Get(ts.URL + "/api/v1/snapshot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := io.ReadAll(snap.Body)
+	snap.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstate snapshot: %d bytes (restore with POST /api/v1/snapshot or amfserver -state)\n", len(data))
+}

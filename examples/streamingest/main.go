@@ -1,0 +1,110 @@
+// Streamingest: high-frequency QoS monitoring over the TCP stream-ingest
+// protocol. The paper's framework (Fig. 3) describes observed QoS data
+// arriving as "formatted stream data"; this example runs the prediction
+// service with its stream listener, has several QoS monitors push
+// line-format observations concurrently, and then queries predictions
+// over the HTTP API — the two protocols share one model.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"github.com/qoslab/amf/internal/client"
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/ingest"
+	"github.com/qoslab/amf/internal/server"
+	"github.com/qoslab/amf/internal/workload"
+)
+
+func main() {
+	gen, err := dataset.New(dataset.Config{
+		Users: 12, Services: 40, Slices: 4,
+		Interval: dataset.DefaultConfig().Interval,
+		Rank:     5, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prediction service with both frontends: HTTP for queries, TCP
+	// stream ingest for observation feeds.
+	rmin, rmax := dataset.ResponseTime.Range()
+	cfg := core.DefaultConfig(dataset.ResponseTime.DefaultAlpha(), rmin, rmax)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg))
+	httpSrv := httptest.NewServer(svc.Handler())
+	defer httpSrv.Close()
+
+	listener, err := ingest.Listen("127.0.0.1:0", svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := listener.Serve(ctx); err != nil {
+			log.Print(err)
+		}
+	}()
+	go svc.RunReplay(ctx, 5*time.Millisecond, 2000)
+	fmt.Printf("HTTP API at %s, stream ingest at %s\n", httpSrv.URL, listener.Addr())
+
+	// Each monitor owns one user: it invokes services on a Poisson
+	// schedule and streams what it measures.
+	dsCfg := gen.Config()
+	var wg sync.WaitGroup
+	for u := 0; u < dsCfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			w, err := ingest.Dial(listener.Addr().String(), time.Second)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer w.Close()
+			events, err := workload.Trace(workload.TraceOptions{
+				Users: 1, Horizon: time.Hour, MeanRate: 120, Seed: int64(u + 1),
+			})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			for i, e := range events {
+				svcID := (u*7 + i*3) % dsCfg.Services
+				rt := gen.Value(dataset.ResponseTime, u, svcID, int(e.Time/dsCfg.Interval)%dsCfg.Slices)
+				if err := w.Send(fmt.Sprintf("app-%02d", u), fmt.Sprintf("ws-%02d", svcID), rt, 0); err != nil {
+					log.Print(err)
+					return
+				}
+			}
+			if err := w.Ping(2 * time.Second); err != nil {
+				log.Print(err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	accepted, lines, rejected := listener.Stats()
+	fmt.Printf("stream ingest: %d connections, %d observations, %d rejected\n", accepted, lines, rejected)
+
+	// Give background replay a moment, then query over HTTP.
+	time.Sleep(200 * time.Millisecond)
+	c := client.New(httpSrv.URL, nil)
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d users, %d services, %d updates\n", stats.Users, stats.Services, stats.Updates)
+
+	best, val, ok, err := c.BestCandidate(ctx, "app-03", []string{"ws-01", "ws-05", "ws-09", "ws-13"})
+	if err != nil || !ok {
+		log.Fatal("no candidate: ", err)
+	}
+	fmt.Printf("best candidate for app-03: %s (predicted RT %.3f s)\n", best, val)
+}

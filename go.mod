@@ -1,0 +1,3 @@
+module github.com/qoslab/amf
+
+go 1.22

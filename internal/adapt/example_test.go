@@ -1,0 +1,53 @@
+package adapt_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/qoslab/amf/internal/adapt"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// fixedEnv is a scripted environment for the example.
+type fixedEnv map[int]float64
+
+func (e fixedEnv) InvokeRT(_, service, _ int) float64 { return e[service] }
+
+// fixedPred predicts the same values the environment serves.
+type fixedPred map[int]float64
+
+func (p fixedPred) PredictRT(_, service int) (float64, bool) {
+	v, ok := p[service]
+	return v, ok
+}
+
+// One adaptation action end to end: the working service violates its SLA,
+// the QoS manager reports the observation, and the policy rebinds the
+// task to the candidate the predictor ranks best — the Fig. 1 scenario.
+func ExampleMiddleware() {
+	wf := adapt.Workflow{
+		Name: "order-pipeline",
+		Tasks: []adapt.Task{
+			{Name: "inventory", Candidates: []int{0, 1, 2}, SLA: 1.0},
+		},
+	}
+	env := fixedEnv{0: 4.0, 1: 0.3, 2: 0.8} // service 0 is degraded
+	pred := fixedPred{0: 4.0, 1: 0.3, 2: 0.8}
+
+	var observed []stream.Sample
+	mw, err := adapt.NewMiddleware(wf, 7, adapt.NewPredictedSelector(pred),
+		func(s stream.Sample) { observed = append(observed, s) })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	res := mw.Tick(env, 0, time.Second)
+	fmt.Printf("violations=%d adaptations=%d\n", res.Violations, res.Adaptations)
+	fmt.Printf("rebound to service %d\n", mw.Bindings()[0])
+	fmt.Printf("observations reported: %d\n", len(observed))
+	// Output:
+	// violations=1 adaptations=1
+	// rebound to service 1
+	// observations reported: 1
+}

@@ -1,0 +1,136 @@
+package adapt_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/adapt"
+	"github.com/qoslab/amf/internal/client"
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/server"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// servicePredictor adapts the HTTP prediction client to the middleware's
+// QoSPredictor interface — the full paper architecture: execution
+// middleware on one side of the wire, the shared prediction service on
+// the other.
+type servicePredictor struct {
+	t *testing.T
+	c *client.Client
+}
+
+func (p servicePredictor) PredictRT(user, service int) (float64, bool) {
+	v, err := p.c.Predict(context.Background(),
+		fmt.Sprintf("app-%02d", user), fmt.Sprintf("ws-%02d", service))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// TestAdaptationThroughPredictionService drives the complete loop of the
+// paper's framework (Fig. 3) across a real HTTP boundary: middlewares
+// observe QoS, upload it to the prediction service, and when an SLA is
+// violated, pick the replacement candidate by querying the service.
+func TestAdaptationThroughPredictionService(t *testing.T) {
+	gen := dataset.MustNew(dataset.Config{
+		Users: 10, Services: 30, Slices: 6,
+		Interval: 15 * time.Minute, Rank: 5, Seed: 77,
+	})
+
+	rmin, rmax := dataset.ResponseTime.Range()
+	cfg := core.DefaultConfig(dataset.ResponseTime.DefaultAlpha(), rmin, rmax)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	// The QoS manager side: every observation goes to the service.
+	observer := func(s stream.Sample) {
+		_, err := c.Observe(ctx, []server.Observation{{
+			User:    fmt.Sprintf("app-%02d", s.User),
+			Service: fmt.Sprintf("ws-%02d", s.Service),
+			Value:   s.Value,
+		}})
+		if err != nil {
+			t.Errorf("observe: %v", err)
+		}
+	}
+
+	wf := adapt.Workflow{
+		Name: "integration",
+		Tasks: []adapt.Task{
+			{Name: "A", Candidates: []int{0, 1, 2, 3, 4}, SLA: 1.2},
+			{Name: "B", Candidates: []int{5, 6, 7, 8, 9}, SLA: 1.2},
+		},
+	}
+	selector := adapt.NewPredictedSelector(servicePredictor{t: t, c: c})
+
+	env := genEnv{gen}
+	mws := make([]*adapt.Middleware, 10)
+	for u := range mws {
+		mw, err := adapt.NewMiddleware(wf, u, selector, observer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spread users across candidates so the collaborative model has
+		// coverage to predict from.
+		b := mw.Bindings()
+		b[0] = wf.Tasks[0].Candidates[u%5]
+		b[1] = wf.Tasks[1].Candidates[u%5]
+		if err := mw.Rebind(b); err != nil {
+			t.Fatal(err)
+		}
+		mws[u] = mw
+	}
+
+	var firstSlice, lastSlice adapt.TickResult
+	var adaptations int
+	for slice := 0; slice < gen.Config().Slices; slice++ {
+		for u, mw := range mws {
+			res := mw.Tick(env, slice, gen.SliceTime(slice)+time.Duration(u))
+			if slice == 0 {
+				firstSlice.Violations += res.Violations
+				firstSlice.Latency += res.Latency
+			}
+			if slice == gen.Config().Slices-1 {
+				lastSlice.Violations += res.Violations
+				lastSlice.Latency += res.Latency
+			}
+		}
+	}
+	for _, mw := range mws {
+		adaptations += mw.Adaptations()
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every invocation of every tick must have been uploaded.
+	wantObs := int64(10 * 2 * gen.Config().Slices)
+	if stats.Updates < wantObs {
+		t.Fatalf("service saw %d updates, want >= %d", stats.Updates, wantObs)
+	}
+	if adaptations == 0 {
+		t.Fatal("no adaptation actions happened over six slices")
+	}
+	// The fleet should not get worse as the model learns; allow noise.
+	if lastSlice.Latency > firstSlice.Latency*1.5 {
+		t.Fatalf("fleet latency worsened: slice0=%.2f last=%.2f", firstSlice.Latency, lastSlice.Latency)
+	}
+}
+
+// genEnv adapts the generator for the external test package.
+type genEnv struct{ g *dataset.Generator }
+
+func (e genEnv) InvokeRT(user, service, slice int) float64 {
+	return e.g.Value(dataset.ResponseTime, user, service, slice)
+}

@@ -1,0 +1,128 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Environment supplies observed QoS: the response time user sees when
+// invoking service during time slice. The dataset generator implements
+// this via a small adapter (see Simulation).
+type Environment interface {
+	InvokeRT(user, service, slice int) float64
+}
+
+// ThroughputEnvironment is implemented by environments that also report
+// the throughput of each invocation; tasks with a MinTP floor are checked
+// against it.
+type ThroughputEnvironment interface {
+	InvokeTP(user, service, slice int) float64
+}
+
+// Observer receives every invocation observation the QoS manager makes —
+// the "upload observed QoS data" arrow of the paper's Fig. 3. A prediction
+// model's Observe method adapts to this.
+type Observer func(stream.Sample)
+
+// Middleware executes one user's workflow against the environment and
+// applies the adaptation policy: the execution middleware of Fig. 3.
+type Middleware struct {
+	wf       Workflow
+	user     int
+	bindings Bindings
+	selector Selector
+	observer Observer
+
+	adaptations int
+}
+
+// NewMiddleware binds a workflow for one user. A nil observer is allowed
+// (observations are dropped).
+func NewMiddleware(wf Workflow, user int, selector Selector, observer Observer) (*Middleware, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	if user < 0 {
+		return nil, fmt.Errorf("adapt: negative user %d", user)
+	}
+	if selector == nil {
+		return nil, fmt.Errorf("adapt: nil selector")
+	}
+	return &Middleware{
+		wf:       wf,
+		user:     user,
+		bindings: wf.InitialBindings(),
+		selector: selector,
+		observer: observer,
+	}, nil
+}
+
+// Bindings returns a copy of the current working-service assignment.
+func (m *Middleware) Bindings() Bindings {
+	out := make(Bindings, len(m.bindings))
+	copy(out, m.bindings)
+	return out
+}
+
+// Adaptations returns the total number of binding replacements so far.
+func (m *Middleware) Adaptations() int { return m.adaptations }
+
+// TickResult summarizes one end-to-end workflow execution.
+type TickResult struct {
+	Latency      float64 // end-to-end response time (sum over tasks), seconds
+	Violations   int     // tasks whose invocation violated any SLA term
+	RTViolations int     // violations of the response-time budget
+	TPViolations int     // violations of the throughput floor
+	Adaptations  int     // bindings replaced during this tick
+}
+
+// Tick executes the workflow once at the given slice: each task's working
+// service is invoked, the observation is reported, and tasks that violated
+// their SLA (response-time budget, and throughput floor if the environment
+// reports throughput) trigger the adaptation policy. now stamps the
+// observations.
+func (m *Middleware) Tick(env Environment, slice int, now time.Duration) TickResult {
+	tpEnv, hasTP := env.(ThroughputEnvironment)
+	var res TickResult
+	for i, task := range m.wf.Tasks {
+		svc := m.bindings[i]
+		rt := env.InvokeRT(m.user, svc, slice)
+		res.Latency += rt
+		if m.observer != nil {
+			m.observer(stream.Sample{Time: now, User: m.user, Service: svc, Value: rt})
+		}
+		violated := false
+		if task.SLA > 0 && rt > task.SLA {
+			violated = true
+			res.RTViolations++
+		}
+		if task.MinTP > 0 && hasTP {
+			if tp := tpEnv.InvokeTP(m.user, svc, slice); tp < task.MinTP {
+				violated = true
+				res.TPViolations++
+			}
+		}
+		if violated {
+			res.Violations++
+			// Adaptation action: ask the policy for a replacement.
+			if next := m.selector.Select(m.user, task, svc); next != svc {
+				m.bindings[i] = next
+				m.adaptations++
+				res.Adaptations++
+			}
+		}
+	}
+	return res
+}
+
+// Rebind forces a binding (e.g. an operator action); it must be a valid
+// candidate assignment.
+func (m *Middleware) Rebind(b Bindings) error {
+	if !b.validFor(m.wf) {
+		return fmt.Errorf("adapt: bindings %v invalid for workflow %q", b, m.wf.Name)
+	}
+	copy(m.bindings, b)
+	return nil
+}

@@ -1,0 +1,120 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/dataset"
+)
+
+func simDataset() dataset.Config {
+	return dataset.Config{Users: 20, Services: 60, Slices: 6, Interval: 15 * time.Minute, Rank: 5, Seed: 99}
+}
+
+func TestRunSimulationStrategyOrdering(t *testing.T) {
+	res, err := RunSimulation(SimulationOptions{
+		Dataset:           simDataset(),
+		Users:             20,
+		Tasks:             3,
+		CandidatesPerTask: 8,
+		SLA:               2,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 4 {
+		t.Fatalf("strategies = %d", len(res.Strategies))
+	}
+	byName := map[string]StrategyResult{}
+	for _, s := range res.Strategies {
+		byName[s.Name] = s
+		if s.Invocations == 0 {
+			t.Fatalf("%s made no invocations", s.Name)
+		}
+	}
+	static := byName["static"]
+	predicted := byName["predicted"]
+	oracle := byName["oracle"]
+
+	// The paper's motivation: QoS-prediction-driven adaptation beats no
+	// adaptation, and approaches the oracle.
+	if predicted.ViolationRate >= static.ViolationRate {
+		t.Errorf("predicted violation rate %.3f should beat static %.3f",
+			predicted.ViolationRate, static.ViolationRate)
+	}
+	if oracle.ViolationRate > predicted.ViolationRate+0.02 {
+		t.Errorf("oracle %.3f should be at least as good as predicted %.3f",
+			oracle.ViolationRate, predicted.ViolationRate)
+	}
+	if static.Adaptations != 0 {
+		t.Errorf("static adapted %d times", static.Adaptations)
+	}
+	if predicted.Adaptations == 0 {
+		t.Error("predicted strategy never adapted")
+	}
+	if predicted.MeanLatency >= static.MeanLatency {
+		t.Errorf("predicted mean latency %.3f should beat static %.3f",
+			predicted.MeanLatency, static.MeanLatency)
+	}
+}
+
+func TestRunSimulationValidation(t *testing.T) {
+	bad := simDataset()
+	bad.Users = 0
+	if _, err := RunSimulation(SimulationOptions{Dataset: bad}); err == nil {
+		t.Error("invalid dataset should error")
+	}
+	// Workflow needing more candidates than services exist.
+	if _, err := RunSimulation(SimulationOptions{
+		Dataset:           simDataset(),
+		Tasks:             10,
+		CandidatesPerTask: 10,
+	}); err == nil {
+		t.Error("oversized workflow should error")
+	}
+}
+
+func TestRunSimulationDeterministic(t *testing.T) {
+	opts := SimulationOptions{Dataset: simDataset(), Slices: 2, Seed: 5}
+	a, err := RunSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Strategies {
+		if a.Strategies[i] != b.Strategies[i] {
+			t.Fatalf("non-deterministic simulation: %+v vs %+v", a.Strategies[i], b.Strategies[i])
+		}
+	}
+}
+
+func TestRunSimulationPoissonWorkload(t *testing.T) {
+	res, err := RunSimulation(SimulationOptions{
+		Dataset:                 simDataset(),
+		Slices:                  3,
+		MeanInvocationsPerSlice: 2.5,
+		Seed:                    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All strategies must face the identical workload.
+	base := res.Strategies[0].Invocations
+	if base == 0 {
+		t.Fatal("no invocations under Poisson workload")
+	}
+	for _, s := range res.Strategies[1:] {
+		if s.Invocations != base {
+			t.Fatalf("unequal workloads across strategies: %d vs %d", s.Invocations, base)
+		}
+	}
+	// Expected volume ≈ users * slices * mean * tasks.
+	expect := float64(20*3) * 2.5 * 3
+	if float64(base) < expect*0.6 || float64(base) > expect*1.4 {
+		t.Fatalf("invocations = %d, want ≈ %.0f", base, expect)
+	}
+}

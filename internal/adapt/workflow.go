@@ -1,0 +1,101 @@
+// Package adapt simulates the execution middleware of the paper's
+// QoS-driven service adaptation framework (Sec. III, Fig. 1 and Fig. 3):
+// service-based applications expressed as workflows of abstract tasks,
+// each implemented by one of several functionally-equivalent candidate
+// services; a QoS manager that observes invocations and reports them to a
+// prediction model; and adaptation policies that replace a degraded
+// working service with the candidate the predictor ranks best.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Task is one abstract task of a workflow (A, B, C in the paper's Fig. 1)
+// together with the IDs of its functionally-equivalent candidate services
+// (A1, A2, ...).
+type Task struct {
+	Name       string
+	Candidates []int
+	// SLA is the response-time budget of the task in seconds; an
+	// invocation above it is an SLA violation (and a trigger for
+	// adaptation). Zero or negative disables the per-task SLA.
+	SLA float64
+	// MinTP is the throughput floor of the task in kbps; an invocation
+	// below it is an SLA violation when the environment reports
+	// throughput (see ThroughputEnvironment). Zero or negative disables
+	// the floor.
+	MinTP float64
+}
+
+// Workflow is a sequential composition of abstract tasks; its end-to-end
+// latency is the sum of its task latencies.
+type Workflow struct {
+	Name  string
+	Tasks []Task
+}
+
+// Validate reports the first structural problem of the workflow, or nil.
+func (w Workflow) Validate() error {
+	if len(w.Tasks) == 0 {
+		return errors.New("adapt: workflow has no tasks")
+	}
+	seen := make(map[string]bool, len(w.Tasks))
+	for i, t := range w.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("adapt: task %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("adapt: duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if len(t.Candidates) == 0 {
+			return fmt.Errorf("adapt: task %q has no candidate services", t.Name)
+		}
+		cand := make(map[int]bool, len(t.Candidates))
+		for _, c := range t.Candidates {
+			if c < 0 {
+				return fmt.Errorf("adapt: task %q has negative candidate %d", t.Name, c)
+			}
+			if cand[c] {
+				return fmt.Errorf("adapt: task %q lists candidate %d twice", t.Name, c)
+			}
+			cand[c] = true
+		}
+	}
+	return nil
+}
+
+// Bindings is the current working-service assignment: Bindings[i] is the
+// service bound to task i.
+type Bindings []int
+
+// InitialBindings binds every task to its first candidate.
+func (w Workflow) InitialBindings() Bindings {
+	b := make(Bindings, len(w.Tasks))
+	for i, t := range w.Tasks {
+		b[i] = t.Candidates[0]
+	}
+	return b
+}
+
+// validFor reports whether every binding is one of its task's candidates.
+func (b Bindings) validFor(w Workflow) bool {
+	if len(b) != len(w.Tasks) {
+		return false
+	}
+	for i, t := range w.Tasks {
+		ok := false
+		for _, c := range t.Candidates {
+			if b[i] == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"github.com/qoslab/amf/internal/baseline"
+	"github.com/qoslab/amf/internal/matrix"
+)
+
+// UPCC predicts an unknown QoS value from similar users' observations:
+// users 0 and 1 are perfectly correlated, so user 1's missing value for
+// service 2 is user 1's mean (3) plus user 0's deviation on that service
+// (3 − 2 = 1).
+func ExampleTrainUPCC() {
+	m := matrix.NewSparse(2, 3)
+	m.Append(0, 0, 1)
+	m.Append(0, 1, 2)
+	m.Append(0, 2, 3)
+	m.Append(1, 0, 2)
+	m.Append(1, 1, 4)
+	// (1, 2) is unobserved.
+	m.Freeze()
+
+	upcc := baseline.TrainUPCC(m, baseline.PCCConfig{TopK: -1})
+	v, ok := upcc.Predict(1, 2)
+	fmt.Printf("predicted=%v value=%.0f\n", ok, v)
+	// Output:
+	// predicted=true value=4
+}
+
+// PMF factorizes the observed matrix and reconstructs a held-out cell of
+// a rank-1 matrix almost exactly.
+func ExampleTrainPMF() {
+	m := matrix.NewSparse(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == 2 && j == 2 {
+				continue // held out
+			}
+			m.Append(i, j, float64((i+1)*(j+1)))
+		}
+	}
+	m.Freeze()
+
+	pmf, err := baseline.TrainPMF(m, baseline.PMFConfig{
+		Rank: 2, RMax: 10, Seed: 1, MaxEpochs: 3000, Tol: 1e-9,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v, _ := pmf.Predict(2, 2)
+	fmt.Printf("truth 9, predicted within 1.5: %v\n", v > 7.5 && v < 10.5)
+	// Output:
+	// truth 9, predicted within 1.5: true
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import "github.com/qoslab/amf/internal/matrix"
+
+// UMEAN predicts every unknown value as the active user's observed mean.
+// IMEAN predicts the target service's observed mean. They are the
+// standard lower-bound baselines of the WSRec literature (Zheng et al.,
+// TSC 2011) and useful sanity floors: any collaborative approach should
+// beat them.
+type UMEAN struct {
+	means     []float64
+	hasMean   []bool
+	global    float64
+	hasGlobal bool
+	cols      int
+}
+
+// TrainUMEAN builds the user-mean predictor from a frozen sparse matrix.
+func TrainUMEAN(m *matrix.Sparse) *UMEAN {
+	u := &UMEAN{
+		means:   make([]float64, m.Rows()),
+		hasMean: make([]bool, m.Rows()),
+		cols:    m.Cols(),
+	}
+	var sum float64
+	var n int
+	for i := 0; i < m.Rows(); i++ {
+		if mean, ok := m.RowMean(i); ok {
+			u.means[i] = mean
+			u.hasMean[i] = true
+			sum += mean
+			n++
+		}
+	}
+	if n > 0 {
+		u.global = sum / float64(n)
+		u.hasGlobal = true
+	}
+	return u
+}
+
+// Name implements Predictor.
+func (u *UMEAN) Name() string { return "UMEAN" }
+
+// Predict returns the user's mean, falling back to the global mean.
+func (u *UMEAN) Predict(user, service int) (float64, bool) {
+	if user < 0 || user >= len(u.means) || service < 0 || service >= u.cols {
+		return 0, false
+	}
+	if u.hasMean[user] {
+		return clampMin(u.means[user]), true
+	}
+	if u.hasGlobal {
+		return clampMin(u.global), true
+	}
+	return 0, false
+}
+
+// IMEAN is the service-mean counterpart of UMEAN.
+type IMEAN struct {
+	means     []float64
+	hasMean   []bool
+	global    float64
+	hasGlobal bool
+	rows      int
+}
+
+// TrainIMEAN builds the service-mean predictor from a frozen sparse
+// matrix.
+func TrainIMEAN(m *matrix.Sparse) *IMEAN {
+	p := &IMEAN{
+		means:   make([]float64, m.Cols()),
+		hasMean: make([]bool, m.Cols()),
+		rows:    m.Rows(),
+	}
+	var sum float64
+	var n int
+	for j := 0; j < m.Cols(); j++ {
+		if mean, ok := m.ColMean(j); ok {
+			p.means[j] = mean
+			p.hasMean[j] = true
+			sum += mean
+			n++
+		}
+	}
+	if n > 0 {
+		p.global = sum / float64(n)
+		p.hasGlobal = true
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *IMEAN) Name() string { return "IMEAN" }
+
+// Predict returns the service's mean, falling back to the global mean.
+func (p *IMEAN) Predict(user, service int) (float64, bool) {
+	if user < 0 || user >= p.rows || service < 0 || service >= len(p.means) {
+		return 0, false
+	}
+	if p.hasMean[service] {
+		return clampMin(p.means[service]), true
+	}
+	if p.hasGlobal {
+		return clampMin(p.global), true
+	}
+	return 0, false
+}

@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"github.com/qoslab/amf/internal/matrix"
+)
+
+// PCCConfig tunes the neighborhood-based approaches (UPCC, IPCC).
+type PCCConfig struct {
+	// TopK bounds the neighborhood size. Zero means the default of 10,
+	// negative means unbounded (all positive-similarity neighbors).
+	TopK int
+	// MinCommon is the minimum number of co-invoked services (or common
+	// users) required before a similarity is trusted. Zero means the
+	// default of 2 (a single common observation always yields |PCC| = 1,
+	// which is noise).
+	MinCommon int
+	// Significance enables the similarity-weight dampening
+	// sim' = 2|J| / (|I_a|+|I_b|) · sim from the WSRec paper, which
+	// shrinks similarities estimated from few common observations.
+	Significance bool
+}
+
+func (c PCCConfig) withDefaults() PCCConfig {
+	if c.TopK == 0 {
+		c.TopK = 10
+	}
+	if c.MinCommon == 0 {
+		c.MinCommon = 2
+	}
+	return c
+}
+
+// neighbor is one entry of a similarity list.
+type neighbor struct {
+	id  int
+	sim float64
+}
+
+// pcc computes the Pearson correlation coefficient between two sparse
+// vectors given as parallel (sorted-by-key) key/value slices, over their
+// common keys only, with means taken over the common subset (as in the
+// WSRec formulation). It returns (0, count) when undefined.
+func pcc(keysA []int, valsA []float64, keysB []int, valsB []float64, minCommon int) (float64, int) {
+	var common int
+	var sumA, sumB float64
+	ia, ib := 0, 0
+	// First pass: common count and means over the intersection.
+	for ia < len(keysA) && ib < len(keysB) {
+		switch {
+		case keysA[ia] < keysB[ib]:
+			ia++
+		case keysA[ia] > keysB[ib]:
+			ib++
+		default:
+			sumA += valsA[ia]
+			sumB += valsB[ib]
+			common++
+			ia++
+			ib++
+		}
+	}
+	if common < minCommon {
+		return 0, common
+	}
+	meanA := sumA / float64(common)
+	meanB := sumB / float64(common)
+	var num, denA, denB float64
+	ia, ib = 0, 0
+	for ia < len(keysA) && ib < len(keysB) {
+		switch {
+		case keysA[ia] < keysB[ib]:
+			ia++
+		case keysA[ia] > keysB[ib]:
+			ib++
+		default:
+			da := valsA[ia] - meanA
+			db := valsB[ib] - meanB
+			num += da * db
+			denA += da * da
+			denB += db * db
+			ia++
+			ib++
+		}
+	}
+	if denA == 0 || denB == 0 {
+		return 0, common
+	}
+	return num / math.Sqrt(denA*denB), common
+}
+
+// rowVectors extracts each row of a frozen sparse matrix as parallel
+// sorted key/value slices.
+func rowVectors(m *matrix.Sparse) (keys [][]int, vals [][]float64) {
+	keys = make([][]int, m.Rows())
+	vals = make([][]float64, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		k := make([]int, 0, m.RowNNZ(i))
+		v := make([]float64, 0, m.RowNNZ(i))
+		m.RowEntries(i, func(col int, val float64) {
+			k = append(k, col)
+			v = append(v, val)
+		})
+		keys[i] = k
+		vals[i] = v
+	}
+	return keys, vals
+}
+
+// colVectors extracts each column of a frozen sparse matrix as parallel
+// sorted key/value slices.
+func colVectors(m *matrix.Sparse) (keys [][]int, vals [][]float64) {
+	keys = make([][]int, m.Cols())
+	vals = make([][]float64, m.Cols())
+	for j := 0; j < m.Cols(); j++ {
+		k := make([]int, 0, m.ColNNZ(j))
+		v := make([]float64, 0, m.ColNNZ(j))
+		m.ColEntries(j, func(row int, val float64) {
+			k = append(k, row)
+			v = append(v, val)
+		})
+		// ColEntries visits in CSR (row-sorted) order already, but sort
+		// defensively in case the underlying iteration order changes.
+		if !sort.IntsAreSorted(k) {
+			idx := make([]int, len(k))
+			for x := range idx {
+				idx[x] = x
+			}
+			sort.Slice(idx, func(a, b int) bool { return k[idx[a]] < k[idx[b]] })
+			ks := make([]int, len(k))
+			vs := make([]float64, len(v))
+			for x, y := range idx {
+				ks[x], vs[x] = k[y], v[y]
+			}
+			k, v = ks, vs
+		}
+		keys[j] = k
+		vals[j] = v
+	}
+	return keys, vals
+}
+
+// topNeighbors computes, for every entity (row of keys/vals), its top-K
+// positive-similarity neighbors among all other entities. Neighborhoods
+// are maintained as bounded insertion lists so memory stays O(n·K) even
+// at the paper's 4,500-service scale, where the pairwise candidate count
+// is ~10 million.
+func topNeighbors(keys [][]int, vals [][]float64, cfg PCCConfig) [][]neighbor {
+	n := len(keys)
+	sims := make([][]neighbor, n)
+	push := func(list []neighbor, nb neighbor) []neighbor {
+		if cfg.TopK <= 0 || len(list) < cfg.TopK {
+			return append(list, nb)
+		}
+		// Replace the current minimum if the candidate beats it.
+		minIdx := 0
+		for i := 1; i < len(list); i++ {
+			if list[i].sim < list[minIdx].sim {
+				minIdx = i
+			}
+		}
+		if nb.sim > list[minIdx].sim {
+			list[minIdx] = nb
+		}
+		return list
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			s, common := pcc(keys[a], vals[a], keys[b], vals[b], cfg.MinCommon)
+			if s <= 0 {
+				continue
+			}
+			if cfg.Significance {
+				s *= 2 * float64(common) / float64(len(keys[a])+len(keys[b]))
+			}
+			sims[a] = push(sims[a], neighbor{id: b, sim: s})
+			sims[b] = push(sims[b], neighbor{id: a, sim: s})
+		}
+	}
+	for a := 0; a < n; a++ {
+		sort.Slice(sims[a], func(i, j int) bool { return sims[a][i].sim > sims[a][j].sim })
+	}
+	return sims
+}

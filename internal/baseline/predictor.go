@@ -1,0 +1,34 @@
+// Package baseline implements the four QoS-prediction approaches the paper
+// compares AMF against in Table I:
+//
+//   - UPCC: user-based collaborative filtering with Pearson correlation
+//     (Zheng et al., "QoS-aware web service recommendation by
+//     collaborative filtering", IEEE TSC 2011),
+//   - IPCC: the item(service)-based counterpart,
+//   - UIPCC: the confidence-weighted hybrid of the two,
+//   - PMF: batch probabilistic matrix factorization (Salakhutdinov &
+//     Mnih, NIPS 2007) minimizing squared error by gradient descent.
+//
+// All four train offline on a sparse user-service QoS matrix of one time
+// slice; none of them can incorporate a new sample without retraining,
+// which is exactly the limitation AMF removes (paper Sec. IV-B).
+package baseline
+
+// Predictor is the common prediction interface of all baselines. Predict
+// returns the estimated QoS value for (user, service) and whether a
+// prediction could be produced at all (a cold user and service with no
+// usable fallback yields false).
+type Predictor interface {
+	Predict(user, service int) (float64, bool)
+	Name() string
+}
+
+// clampMin keeps predictions physically meaningful: QoS values such as
+// response time and throughput cannot be negative, but PCC extrapolation
+// and MF inner products can be. All baselines clamp through this helper.
+func clampMin(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/server"
+)
+
+// startService spins up a real prediction service over httptest and
+// returns a client against it: the integration path of framework Fig. 3.
+func startService(t *testing.T) *Client {
+	t.Helper()
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	srv := server.New(core.MustNew(cfg))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL, nil)
+}
+
+func seed(t *testing.T, c *Client) {
+	t.Helper()
+	var obs []server.Observation
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 6; j++ {
+			obs = append(obs, server.Observation{
+				User:    fmt.Sprintf("app-%d", i),
+				Service: fmt.Sprintf("ws-%d", j),
+				Value:   0.3 + float64((i*j)%5),
+			})
+		}
+	}
+	resp, err := c.Observe(context.Background(), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 30 {
+		t.Fatalf("accepted = %d", resp.Accepted)
+	}
+}
+
+func TestClientHealth(t *testing.T) {
+	c := startService(t)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientObserveAndPredict(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	v, err := c.Predict(context.Background(), "app-1", "ws-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 20 {
+		t.Fatalf("prediction %g out of range", v)
+	}
+}
+
+func TestClientPredictNotFound(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	if _, err := c.Predict(context.Background(), "ghost", "ws-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestClientBatchAndBest(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	ctx := context.Background()
+	preds, err := c.PredictBatch(ctx, "app-0", []string{"ws-0", "ws-1", "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 || !preds[0].OK || preds[2].OK {
+		t.Fatalf("batch = %+v", preds)
+	}
+	best, val, ok, err := c.BestCandidate(ctx, "app-0", []string{"ws-0", "ws-1", "ws-2"})
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if best == "" || val < 0 {
+		t.Fatalf("best = %q %g", best, val)
+	}
+	// Verify best really is the minimum of the batch.
+	all, err := c.PredictBatch(ctx, "app-0", []string{"ws-0", "ws-1", "ws-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range all {
+		if p.OK && p.Value < val {
+			t.Fatalf("BestCandidate missed %q (%g < %g)", p.Service, p.Value, val)
+		}
+	}
+}
+
+func TestClientBestCandidateNoneKnown(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	_, _, ok, err := c.BestCandidate(context.Background(), "app-0", []string{"ghost-1", "ghost-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no candidate should be OK")
+	}
+}
+
+func TestClientStatsUsersServices(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	ctx := context.Background()
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 5 || stats.Services != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	users, err := c.Users(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 5 {
+		t.Fatalf("users = %+v", users)
+	}
+	svcs, err := c.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 6 {
+		t.Fatalf("services = %+v", svcs)
+	}
+}
+
+func TestClientChurnRemove(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	ctx := context.Background()
+	if err := c.RemoveUser(ctx, "app-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(ctx, "app-0", "ws-0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("departed user should be unknown, got %v", err)
+	}
+	if err := c.RemoveUser(ctx, "app-0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double removal should be ErrNotFound, got %v", err)
+	}
+	if err := c.RemoveService(ctx, "ws-0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientOnlineLearningImprovesPrediction(t *testing.T) {
+	// End-to-end check of the paper's online property through the HTTP
+	// boundary: repeated observations of a pair move its prediction
+	// toward the observed value.
+	c := startService(t)
+	ctx := context.Background()
+	target := 3.0
+	var obs []server.Observation
+	for i := 0; i < 200; i++ {
+		obs = append(obs, server.Observation{User: "app", Service: "ws", Value: target})
+	}
+	if _, err := c.Observe(ctx, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict(ctx, "app", "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := abs(got-target) / target; rel > 0.2 {
+		t.Fatalf("after 200 observations prediction %g is %f away from %g", got, rel, target)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestClientBadServerURL(t *testing.T) {
+	c := New("http://127.0.0.1:1", nil) // nothing listens there
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestClientFlagged(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	resp, err := c.Flagged(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 flags everything that has a tracker.
+	if len(resp.Users) != 5 || len(resp.Services) != 6 {
+		t.Fatalf("flagged at 0: %d users %d services", len(resp.Users), len(resp.Services))
+	}
+	// Negative threshold uses the server default.
+	if _, err := c.Flagged(context.Background(), -1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Concurrent wraps a Model with a read-write mutex so that the QoS
+// prediction service (framework Fig. 3) can serve predictions from many
+// goroutines while a writer folds in observed QoS data. Predictions take
+// the read lock; observations, replay, and restores take the write lock.
+type Concurrent struct {
+	mu sync.RWMutex
+	m  *Model
+}
+
+// NewConcurrent wraps an existing model. The caller must not use the
+// wrapped model directly afterwards.
+func NewConcurrent(m *Model) *Concurrent {
+	return &Concurrent{m: m}
+}
+
+// Observe ingests one sample under the write lock.
+func (c *Concurrent) Observe(s stream.Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Observe(s)
+}
+
+// ObserveAll ingests samples under a single write-lock acquisition.
+func (c *Concurrent) ObserveAll(ss []stream.Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.ObserveAll(ss)
+}
+
+// ReplaySteps performs up to n replay updates under one write-lock
+// acquisition and returns the number of steps actually performed
+// (0 when the pool is empty). Callers that interleave replay with
+// predictions should use modest n to bound writer lock hold time.
+func (c *Concurrent) ReplaySteps(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done := 0
+	for i := 0; i < n; i++ {
+		if !c.m.ReplayStep() {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// Predict estimates the QoS value under the read lock.
+func (c *Concurrent) Predict(user, service int) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Predict(user, service)
+}
+
+// PredictWithConfidence estimates the QoS value and its confidence under
+// the read lock.
+func (c *Concurrent) PredictWithConfidence(user, service int) (float64, float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.PredictWithConfidence(user, service)
+}
+
+// KnowsUser reports whether the user has been observed.
+func (c *Concurrent) KnowsUser(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.KnowsUser(id)
+}
+
+// KnowsService reports whether the service has been observed.
+func (c *Concurrent) KnowsService(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.KnowsService(id)
+}
+
+// NumUsers returns the number of registered users.
+func (c *Concurrent) NumUsers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.NumUsers()
+}
+
+// NumServices returns the number of registered services.
+func (c *Concurrent) NumServices() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.NumServices()
+}
+
+// Updates returns the total number of SGD updates performed.
+func (c *Concurrent) Updates() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Updates()
+}
+
+// UserError returns the tracked error of a user.
+func (c *Concurrent) UserError(id int) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.UserError(id)
+}
+
+// ServiceError returns the tracked error of a service.
+func (c *Concurrent) ServiceError(id int) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.ServiceError(id)
+}
+
+// HighErrorUsers lists users whose tracked error is at or above
+// threshold, worst first, under the read lock.
+func (c *Concurrent) HighErrorUsers(threshold float64) []Flagged {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.HighErrorUsers(threshold)
+}
+
+// HighErrorServices is HighErrorUsers for services.
+func (c *Concurrent) HighErrorServices(threshold float64) []Flagged {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.HighErrorServices(threshold)
+}
+
+// RemoveUser forgets a user under the write lock.
+func (c *Concurrent) RemoveUser(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.RemoveUser(id)
+}
+
+// RemoveService forgets a service under the write lock.
+func (c *Concurrent) RemoveService(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.RemoveService(id)
+}
+
+// AdvanceTo moves the model clock forward under the write lock.
+func (c *Concurrent) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.AdvanceTo(t)
+}
+
+// Snapshot serializes the learned state under the read lock.
+func (c *Concurrent) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Snapshot()
+}
+
+// Restore atomically replaces the wrapped model with one reconstructed
+// from a Snapshot. Concurrent readers see either the old or the new model,
+// never an intermediate state.
+func (c *Concurrent) Restore(data []byte) error {
+	m, err := Restore(data)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = m
+	return nil
+}
+
+// Config returns the wrapped model's configuration.
+func (c *Concurrent) Config() Config {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.Config()
+}

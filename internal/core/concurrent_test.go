@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func TestConcurrentBasicDelegation(t *testing.T) {
+	c := NewConcurrent(MustNew(rtConfig()))
+	c.Observe(stream.Sample{Time: time.Second, User: 1, Service: 2, Value: 3})
+	if !c.KnowsUser(1) || !c.KnowsService(2) {
+		t.Fatal("observe should register entities")
+	}
+	if c.NumUsers() != 1 || c.NumServices() != 1 {
+		t.Fatal("counts")
+	}
+	if _, err := c.Predict(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(9, 2); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("unknown user should error")
+	}
+	if e, ok := c.UserError(1); !ok || e <= 0 {
+		t.Fatalf("user error = %g, %v", e, ok)
+	}
+	if e, ok := c.ServiceError(2); !ok || e <= 0 {
+		t.Fatalf("service error = %g, %v", e, ok)
+	}
+	if c.Updates() != 1 {
+		t.Fatalf("updates = %d", c.Updates())
+	}
+	if c.Config().Rank != 10 {
+		t.Fatal("config should pass through")
+	}
+}
+
+func TestConcurrentObserveAllAndReplay(t *testing.T) {
+	c := NewConcurrent(MustNew(rtConfig()))
+	ss := make([]stream.Sample, 20)
+	for i := range ss {
+		ss[i] = stream.Sample{Time: time.Duration(i), User: i % 3, Service: i % 4, Value: 1 + float64(i%5)}
+	}
+	c.ObserveAll(ss)
+	if got := c.ReplaySteps(50); got != 50 {
+		t.Fatalf("replay steps = %d, want 50", got)
+	}
+	empty := NewConcurrent(MustNew(rtConfig()))
+	if got := empty.ReplaySteps(10); got != 0 {
+		t.Fatalf("replay on empty model = %d, want 0", got)
+	}
+}
+
+func TestConcurrentRemoveAndAdvance(t *testing.T) {
+	cfg := rtConfig()
+	cfg.Expiry = time.Minute
+	c := NewConcurrent(MustNew(cfg))
+	c.Observe(stream.Sample{Time: 0, User: 1, Service: 2, Value: 3})
+	c.RemoveUser(1)
+	c.RemoveService(2)
+	if c.KnowsUser(1) || c.KnowsService(2) {
+		t.Fatal("removal should delegate")
+	}
+	c.AdvanceTo(time.Hour)
+	if got := c.ReplaySteps(10); got != 0 {
+		t.Fatalf("expired pool should yield 0 replay steps, got %d", got)
+	}
+}
+
+func TestConcurrentSnapshot(t *testing.T) {
+	c := NewConcurrent(MustNew(rtConfig()))
+	c.Observe(stream.Sample{User: 0, Service: 0, Value: 1})
+	data, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hammer the wrapper from many goroutines; run with -race in CI. The test
+// asserts no panics, no lost updates, and in-range predictions.
+func TestConcurrentParallelAccess(t *testing.T) {
+	c := NewConcurrent(MustNew(rtConfig()))
+	// Seed so predictions are possible from the start.
+	for u := 0; u < 4; u++ {
+		for s := 0; s < 4; s++ {
+			c.Observe(stream.Sample{Time: time.Second, User: u, Service: s, Value: 1})
+		}
+	}
+	var wg sync.WaitGroup
+	const writers, readers, iters = 4, 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Observe(stream.Sample{
+					Time:    time.Second + time.Duration(i),
+					User:    (w + i) % 4,
+					Service: i % 4,
+					Value:   0.5 + float64(i%10),
+				})
+				c.ReplaySteps(2)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v, err := c.Predict(i%4, (r+i)%4)
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				if v < 0 || v > 20 {
+					t.Errorf("prediction %g out of range", v)
+					return
+				}
+				c.NumUsers()
+				c.UserError(i % 4)
+			}
+		}(r)
+	}
+	wg.Wait()
+	wantMin := int64(4*4 + writers*iters)
+	if got := c.Updates(); got < wantMin {
+		t.Fatalf("updates = %d, want >= %d", got, wantMin)
+	}
+}
+
+func TestConcurrentPredictWithConfidence(t *testing.T) {
+	c := NewConcurrent(MustNew(rtConfig()))
+	c.Observe(stream.Sample{User: 1, Service: 2, Value: 3})
+	v, conf, err := c.PredictWithConfidence(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 20 || conf <= 0 || conf > 1 {
+		t.Fatalf("value=%g conf=%g", v, conf)
+	}
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// The basic AMF lifecycle: configure with the paper's hyperparameters,
+// observe a stream of QoS samples, let the model converge on its replay
+// pool, and predict an invocation that was never observed.
+func ExampleModel() {
+	cfg := core.DefaultConfig(-0.007, 0, 20) // response time in [0, 20] s
+	cfg.Expiry = 0
+	model := core.MustNew(cfg)
+
+	// Two users share service 0; user 0 also uses service 1. AMF infers
+	// user 1's unknown QoS on service 1 collaboratively.
+	for i := 0; i < 40; i++ {
+		t := time.Duration(i) * time.Second
+		model.Observe(stream.Sample{Time: t, User: 0, Service: 0, Value: 1.0})
+		model.Observe(stream.Sample{Time: t, User: 1, Service: 0, Value: 1.0})
+		model.Observe(stream.Sample{Time: t, User: 0, Service: 1, Value: 4.0})
+	}
+	model.Fit(core.FitOptions{})
+
+	v, err := model.Predict(1, 1) // never observed
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("user 1 on service 1: predicted within [2,6]: %v\n", v > 2 && v < 6)
+	// Output:
+	// user 1 on service 1: predicted within [2,6]: true
+}
+
+// Candidate ranking for an adaptation decision: lower response time ranks
+// first.
+func ExampleModel_RankServices() {
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	model := core.MustNew(cfg)
+	for i := 0; i < 60; i++ {
+		model.Observe(stream.Sample{Time: time.Duration(i), User: 0, Service: 0, Value: 0.5})
+		model.Observe(stream.Sample{Time: time.Duration(i), User: 0, Service: 1, Value: 3.0})
+		model.Observe(stream.Sample{Time: time.Duration(i), User: 0, Service: 2, Value: 9.0})
+	}
+	model.Fit(core.FitOptions{})
+
+	ranked, _ := model.RankServices(0, []int{2, 0, 1}, true)
+	for _, r := range ranked {
+		fmt.Println("service", r.Service)
+	}
+	// Output:
+	// service 0
+	// service 1
+	// service 2
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/qoslab/amf/internal/matrix"
+	"github.com/qoslab/amf/internal/stats"
+	"github.com/qoslab/amf/internal/stream"
+	"github.com/qoslab/amf/internal/transform"
+)
+
+// entity is the per-user or per-service state: a latent factor vector and
+// the exponential moving average of its relative prediction error, which
+// drives the adaptive weights.
+type entity struct {
+	vec     []float64
+	err     *stats.EMA
+	updates int
+}
+
+// Model is the AMF predictor. It is not safe for concurrent use; wrap it
+// in Concurrent for multi-goroutine access (e.g. the prediction service).
+type Model struct {
+	cfg      Config
+	tr       *transform.Transformer
+	rng      *rand.Rand
+	pool     *stream.Pool
+	users    map[int]*entity
+	services map[int]*entity
+	updates  int64
+}
+
+// New constructs an empty AMF model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	tr, err := transform.New(cfg.Alpha, cfg.RMin, cfg.RMax)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:      cfg,
+		tr:       tr,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pool:     stream.NewPool(cfg.Expiry, cfg.Seed+1),
+		users:    make(map[int]*entity),
+		services: make(map[int]*entity),
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+// newEntity randomly initializes a latent vector (Algorithm 1 line 6) and
+// seeds the error tracker at 1 (line 7): a brand-new entity is maximally
+// untrusted, so the adaptive weights route most of each update to it.
+func (m *Model) newEntity() *entity {
+	v := make([]float64, m.cfg.Rank)
+	scale := 1 / math.Sqrt(float64(m.cfg.Rank))
+	for k := range v {
+		v[k] = m.rng.Float64() * scale
+	}
+	return &entity{vec: v, err: stats.NewEMAInit(m.cfg.Beta, 1)}
+}
+
+func (m *Model) user(id int) *entity {
+	e, ok := m.users[id]
+	if !ok {
+		e = m.newEntity()
+		m.users[id] = e
+	}
+	return e
+}
+
+func (m *Model) service(id int) *entity {
+	e, ok := m.services[id]
+	if !ok {
+		e = m.newEntity()
+		m.services[id] = e
+	}
+	return e
+}
+
+// Observe ingests a newly observed QoS sample: it registers any new user
+// or service, stores the sample in the replay pool, and performs one
+// online SGD update (Algorithm 1 lines 3-9).
+func (m *Model) Observe(s stream.Sample) {
+	u := m.user(s.User)
+	v := m.service(s.Service)
+	m.pool.Add(s)
+	m.update(u, v, s.Value)
+}
+
+// ObserveAll ingests samples in order.
+func (m *Model) ObserveAll(ss []stream.Sample) {
+	for _, s := range ss {
+		m.Observe(s)
+	}
+}
+
+// ReplayStep performs one online update on a randomly picked existing
+// sample (Algorithm 1 lines 11-15). It reports false when no live sample
+// remains, i.e. the model should wait for new data.
+func (m *Model) ReplayStep() bool {
+	s, ok := m.pool.Pick()
+	if !ok {
+		return false
+	}
+	// A replayed sample must not resurrect a departed user or service;
+	// only Observe (new data) registers entities.
+	u, okU := m.users[s.User]
+	v, okV := m.services[s.Service]
+	if okU && okV {
+		m.update(u, v, s.Value)
+	}
+	return true
+}
+
+// AdvanceTo moves the model clock forward, expiring replay samples older
+// than the configured expiry.
+func (m *Model) AdvanceTo(t time.Duration) { m.pool.AdvanceTo(t) }
+
+// Now returns the model clock (latest sample or advance time).
+func (m *Model) Now() time.Duration { return m.pool.Now() }
+
+// PoolLen returns the number of retained (possibly stale) replay samples.
+func (m *Model) PoolLen() int { return m.pool.Len() }
+
+// CompactPool eagerly evicts expired and superseded replay samples.
+func (m *Model) CompactPool() { m.pool.Compact() }
+
+// update is OnlineUpdate(tij, ui, sj, Rij) from Algorithm 1:
+// normalize, compute weights from current errors, measure the relative
+// error, fold it into both error trackers, and take simultaneous weighted
+// gradient steps on the two factor vectors (Eq. 16-17).
+func (m *Model) update(u, v *entity, value float64) {
+	cfg := &m.cfg
+	r := m.tr.Forward(value)
+
+	x := matrix.Dot(u.vec, v.vec)
+	g := transform.Sigmoid(x)
+	gp := transform.SigmoidPrime(x)
+
+	// Adaptive weights (Eq. 12); without them the model degenerates to
+	// the unweighted updates of Eq. 8-9.
+	wu, wv := 1.0, 1.0
+	if cfg.AdaptiveWeights {
+		eu, ev := u.err.Value(), v.err.Value()
+		if sum := eu + ev; sum > 0 {
+			wu, wv = eu/sum, ev/sum
+		} else {
+			wu, wv = 0.5, 0.5
+		}
+	}
+
+	// Per-sample error (Eq. 15) and error-tracker updates (Eq. 13-14).
+	var eij float64
+	if cfg.RelativeLoss {
+		eij = math.Abs(r-g) / r
+	} else {
+		eij = math.Abs(r - g)
+	}
+	u.err.UpdateWeighted(wu, eij)
+	v.err.UpdateWeighted(wv, eij)
+
+	// Common gradient factor of Eq. 16-17: (g−r)·g′/r² for the relative
+	// loss, (g−r)·g′ for the absolute ablation.
+	grad := (g - r) * gp
+	if cfg.RelativeLoss {
+		grad /= r * r
+	}
+	if cfg.MaxGradNorm > 0 {
+		if grad > cfg.MaxGradNorm {
+			grad = cfg.MaxGradNorm
+		} else if grad < -cfg.MaxGradNorm {
+			grad = -cfg.MaxGradNorm
+		}
+	}
+
+	// Simultaneous update: Sj's step uses the pre-step Ui (Algorithm 1
+	// line 24 updates "simultaneously").
+	etaU := cfg.LearnRate * wu
+	etaV := cfg.LearnRate * wv
+	for k := range u.vec {
+		uk, vk := u.vec[k], v.vec[k]
+		u.vec[k] = uk - etaU*(grad*vk+cfg.RegUser*uk)
+		v.vec[k] = vk - etaV*(grad*uk+cfg.RegService*vk)
+	}
+	u.updates++
+	v.updates++
+	m.updates++
+}
+
+// Predict estimates the QoS value between a user and a service the model
+// has seen before (Iij may be 0; that is the point). The latent inner
+// product is squashed by the sigmoid link and mapped back through the
+// inverse data transformation.
+func (m *Model) Predict(user, service int) (float64, error) {
+	u, ok := m.users[user]
+	if !ok {
+		return 0, ErrUnknownUser
+	}
+	v, ok := m.services[service]
+	if !ok {
+		return 0, ErrUnknownService
+	}
+	g := transform.Sigmoid(matrix.Dot(u.vec, v.vec))
+	return m.tr.Backward(g), nil
+}
+
+// PredictWithConfidence returns Predict's estimate together with a
+// confidence score in (0, 1]: the complement of the combined tracked
+// relative errors of the user and the service,
+//
+//	confidence = 1 / (1 + e_ui + e_sj)
+//
+// A converged pair (both trackers near 0) approaches confidence 1; a
+// fresh entity (tracker seeded at 1, Algorithm 1 line 7) drags confidence
+// toward 1/2 or below. This reuses the adaptive-weight error state, so it
+// costs nothing extra to maintain; adaptation policies can use it to
+// require a minimum confidence before acting on a prediction.
+func (m *Model) PredictWithConfidence(user, service int) (value, confidence float64, err error) {
+	u, ok := m.users[user]
+	if !ok {
+		return 0, 0, ErrUnknownUser
+	}
+	v, ok := m.services[service]
+	if !ok {
+		return 0, 0, ErrUnknownService
+	}
+	g := transform.Sigmoid(matrix.Dot(u.vec, v.vec))
+	confidence = 1 / (1 + u.err.Value() + v.err.Value())
+	return m.tr.Backward(g), confidence, nil
+}
+
+// PredictNormalized returns the raw sigmoid output g(Ui·Sj) in [0,1],
+// the model's estimate of the normalized QoS target.
+func (m *Model) PredictNormalized(user, service int) (float64, error) {
+	u, ok := m.users[user]
+	if !ok {
+		return 0, ErrUnknownUser
+	}
+	v, ok := m.services[service]
+	if !ok {
+		return 0, ErrUnknownService
+	}
+	return transform.Sigmoid(matrix.Dot(u.vec, v.vec)), nil
+}
+
+// Transformer exposes the model's data transformation, shared with
+// evaluation code that needs to normalize ground-truth values.
+func (m *Model) Transformer() *transform.Transformer { return m.tr }
+
+// KnowsUser reports whether the user has been observed.
+func (m *Model) KnowsUser(id int) bool { _, ok := m.users[id]; return ok }
+
+// KnowsService reports whether the service has been observed.
+func (m *Model) KnowsService(id int) bool { _, ok := m.services[id]; return ok }
+
+// NumUsers returns the number of registered users.
+func (m *Model) NumUsers() int { return len(m.users) }
+
+// NumServices returns the number of registered services.
+func (m *Model) NumServices() int { return len(m.services) }
+
+// Updates returns the total number of SGD updates performed.
+func (m *Model) Updates() int64 { return m.updates }
+
+// UserError returns the user's tracked average relative error e_ui,
+// or (0, false) if the user is unknown.
+func (m *Model) UserError(id int) (float64, bool) {
+	if e, ok := m.users[id]; ok {
+		return e.err.Value(), true
+	}
+	return 0, false
+}
+
+// ServiceError returns the service's tracked average relative error e_sj,
+// or (0, false) if the service is unknown.
+func (m *Model) ServiceError(id int) (float64, bool) {
+	if e, ok := m.services[id]; ok {
+		return e.err.Value(), true
+	}
+	return 0, false
+}
+
+// UserIDs returns the registered user IDs in unspecified order.
+func (m *Model) UserIDs() []int {
+	out := make([]int, 0, len(m.users))
+	for id := range m.users {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ServiceIDs returns the registered service IDs in unspecified order.
+func (m *Model) ServiceIDs() []int {
+	out := make([]int, 0, len(m.services))
+	for id := range m.services {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RemoveUser forgets a user entirely (framework Sec. III: users may leave
+// the environment). Replay samples involving the user die lazily because
+// prediction state is gone; they are also superseded in the pool over time.
+func (m *Model) RemoveUser(id int) { delete(m.users, id) }
+
+// RemoveService forgets a service entirely.
+func (m *Model) RemoveService(id int) { delete(m.services, id) }
+
+// SetLearnRate changes the SGD step size η for subsequent updates. It
+// enables learning-rate annealing schedules: a large η converges fast
+// from cold, a smaller one tightens the fixed point once near it (the
+// variance of SGD's stationary distribution scales with η).
+func (m *Model) SetLearnRate(eta float64) {
+	if eta > 0 {
+		m.cfg.LearnRate = eta
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// rtConfig returns the paper's RT hyperparameters against the RT range.
+func rtConfig() Config { return DefaultConfig(-0.007, 0, 20) }
+
+func TestConfigValidate(t *testing.T) {
+	if err := rtConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	breakers := map[string]func(*Config){
+		"rank":    func(c *Config) { c.Rank = 0 },
+		"eta":     func(c *Config) { c.LearnRate = 0 },
+		"reg":     func(c *Config) { c.RegUser = -1 },
+		"beta lo": func(c *Config) { c.Beta = 0 },
+		"beta hi": func(c *Config) { c.Beta = 1.5 },
+		"range":   func(c *Config) { c.RMax = c.RMin },
+		"maxgrad": func(c *Config) { c.MaxGradNorm = -1 },
+		"expiry":  func(c *Config) { c.Expiry = -time.Second },
+	}
+	for name, breakIt := range breakers {
+		c := rtConfig()
+		breakIt(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("%s: New should refuse invalid config", name)
+		}
+	}
+}
+
+func TestNewModelEmpty(t *testing.T) {
+	m := MustNew(rtConfig())
+	if m.NumUsers() != 0 || m.NumServices() != 0 || m.Updates() != 0 {
+		t.Fatal("new model should be empty")
+	}
+	if _, err := m.Predict(0, 0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("predict on empty model: %v", err)
+	}
+}
+
+func TestObserveRegistersEntities(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{Time: time.Second, User: 3, Service: 7, Value: 1.2})
+	if !m.KnowsUser(3) || !m.KnowsService(7) {
+		t.Fatal("observe should register user and service")
+	}
+	if m.NumUsers() != 1 || m.NumServices() != 1 {
+		t.Fatal("counts wrong")
+	}
+	if m.Updates() != 1 {
+		t.Fatalf("updates = %d, want 1", m.Updates())
+	}
+	if _, err := m.Predict(3, 7); err != nil {
+		t.Fatalf("predict after observe: %v", err)
+	}
+	if _, err := m.Predict(3, 99); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("want ErrUnknownService, got %v", err)
+	}
+}
+
+func TestNewEntityErrorSeededAtOne(t *testing.T) {
+	// Algorithm 1 line 7: e_ui ← 1 for a new user. After the very first
+	// update the EMA moves off 1 but stays within (0, 1].
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{User: 0, Service: 0, Value: 1.0})
+	eu, ok := m.UserError(0)
+	if !ok {
+		t.Fatal("user error should exist")
+	}
+	if eu <= 0 || eu > 1 {
+		t.Fatalf("user error = %g after one update, want in (0,1]", eu)
+	}
+	if _, ok := m.UserError(99); ok {
+		t.Fatal("unknown user should have no error")
+	}
+	if _, ok := m.ServiceError(99); ok {
+		t.Fatal("unknown service should have no error")
+	}
+}
+
+func TestPredictionWithinRange(t *testing.T) {
+	m := MustNew(rtConfig())
+	for i := 0; i < 10; i++ {
+		m.Observe(stream.Sample{User: i % 3, Service: i % 4, Value: float64(i%5) + 0.5})
+	}
+	for u := 0; u < 3; u++ {
+		for s := 0; s < 4; s++ {
+			v, err := m.Predict(u, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v > 20 || math.IsNaN(v) {
+				t.Fatalf("prediction %g outside QoS range", v)
+			}
+		}
+	}
+}
+
+// Training on a single repeated sample must drive the prediction to the
+// observed value: SGD on one point converges.
+func TestConvergesOnSinglePair(t *testing.T) {
+	cfg := rtConfig()
+	// No regularization: the pure SGD fixed point is then exactly the
+	// observed value (with λ>0 the shrinkage bias is amplified by the
+	// log-like inverse transform).
+	cfg.RegUser, cfg.RegService = 0, 0
+	m := MustNew(cfg)
+	target := 2.5
+	m.Observe(stream.Sample{Time: time.Second, User: 0, Service: 0, Value: target})
+	for i := 0; i < 500; i++ {
+		if !m.ReplayStep() {
+			t.Fatal("replay pool should stay live")
+		}
+	}
+	got, err := m.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-target) / target; rel > 0.05 {
+		t.Fatalf("prediction %g, want ≈ %g (rel err %.3f)", got, target, rel)
+	}
+}
+
+// The model must recover a structured (rank-consistent) matrix well enough
+// to predict held-out entries: the core collaborative-filtering property.
+func TestRecoverStructuredMatrix(t *testing.T) {
+	cfg := rtConfig()
+	cfg.Rank = 4
+	m := MustNew(cfg)
+
+	// Ground truth: value(i,j) = a_i * b_j, a multiplicative structure
+	// that a rank-1 log-domain model captures.
+	users, services := 12, 20
+	a := make([]float64, users)
+	b := make([]float64, services)
+	for i := range a {
+		a[i] = 0.5 + float64(i)*0.2
+	}
+	for j := range b {
+		b[j] = 0.4 + float64(j)*0.15
+	}
+	value := func(i, j int) float64 { return a[i] * b[j] }
+
+	// Observe ~60% of cells; hold out the rest.
+	var held [][2]int
+	for i := 0; i < users; i++ {
+		for j := 0; j < services; j++ {
+			if (i*7+j*3)%10 < 6 {
+				m.Observe(stream.Sample{Time: time.Second, User: i, Service: j, Value: value(i, j)})
+			} else {
+				held = append(held, [2]int{i, j})
+			}
+		}
+	}
+	res := m.Fit(FitOptions{MaxEpochs: 300, Tol: 1e-4})
+	if res.Steps == 0 {
+		t.Fatal("fit performed no steps")
+	}
+
+	var relErrs []float64
+	for _, p := range held {
+		got, err := m.Predict(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := value(p[0], p[1])
+		relErrs = append(relErrs, math.Abs(got-truth)/truth)
+	}
+	// Median relative error on held-out entries should be small.
+	var sum float64
+	for _, e := range relErrs {
+		sum += e
+	}
+	mean := sum / float64(len(relErrs))
+	if mean > 0.15 {
+		t.Fatalf("mean held-out relative error %.3f too high", mean)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	build := func() *Model {
+		m := MustNew(rtConfig())
+		for i := 0; i < 50; i++ {
+			m.Observe(stream.Sample{Time: time.Duration(i), User: i % 5, Service: i % 7, Value: float64(i%9) + 0.3})
+		}
+		m.Fit(FitOptions{MaxEpochs: 5, Tol: 1e-9, MinEpochs: 5})
+		return m
+	}
+	m1, m2 := build(), build()
+	for u := 0; u < 5; u++ {
+		for s := 0; s < 7; s++ {
+			v1, err1 := m1.Predict(u, s)
+			v2, err2 := m2.Predict(u, s)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if v1 != v2 {
+				t.Fatalf("same seed, different predictions at (%d,%d): %g vs %g", u, s, v1, v2)
+			}
+		}
+	}
+}
+
+func TestErrorTrackerDecreasesWithTraining(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{Time: time.Second, User: 0, Service: 0, Value: 3})
+	before, _ := m.UserError(0)
+	for i := 0; i < 300; i++ {
+		m.ReplayStep()
+	}
+	after, _ := m.UserError(0)
+	if after >= before {
+		t.Fatalf("user error should fall with training: %g -> %g", before, after)
+	}
+}
+
+func TestExpiryStopsReplay(t *testing.T) {
+	cfg := rtConfig()
+	cfg.Expiry = 15 * time.Minute
+	m := MustNew(cfg)
+	m.Observe(stream.Sample{Time: 0, User: 0, Service: 0, Value: 1})
+	m.AdvanceTo(16 * time.Minute)
+	if m.ReplayStep() {
+		t.Fatal("expired sample must not be replayed (Algorithm 1 line 15)")
+	}
+	if m.Now() != 16*time.Minute {
+		t.Fatalf("clock = %v", m.Now())
+	}
+}
+
+func TestRemoveUserAndService(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{Time: time.Second, User: 1, Service: 2, Value: 1})
+	m.RemoveUser(1)
+	if m.KnowsUser(1) {
+		t.Fatal("user should be gone")
+	}
+	if _, err := m.Predict(1, 2); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("predict after removal: %v", err)
+	}
+	// Replay must not resurrect the removed user.
+	for i := 0; i < 20; i++ {
+		m.ReplayStep()
+	}
+	if m.KnowsUser(1) {
+		t.Fatal("replay resurrected a removed user")
+	}
+	m.RemoveService(2)
+	if m.KnowsService(2) {
+		t.Fatal("service should be gone")
+	}
+}
+
+func TestUserAndServiceIDs(t *testing.T) {
+	m := MustNew(rtConfig())
+	for _, s := range []stream.Sample{
+		{User: 5, Service: 1, Value: 1},
+		{User: 3, Service: 2, Value: 1},
+	} {
+		m.Observe(s)
+	}
+	uids := m.UserIDs()
+	sids := m.ServiceIDs()
+	if len(uids) != 2 || len(sids) != 2 {
+		t.Fatalf("ids = %v / %v", uids, sids)
+	}
+	seen := map[int]bool{}
+	for _, id := range uids {
+		seen[id] = true
+	}
+	if !seen[5] || !seen[3] {
+		t.Fatalf("user ids = %v", uids)
+	}
+}
+
+func TestPredictNormalizedInUnitInterval(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{User: 0, Service: 0, Value: 5})
+	g, err := m.PredictNormalized(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 || g >= 1 {
+		t.Fatalf("normalized prediction %g outside (0,1)", g)
+	}
+	if _, err := m.PredictNormalized(9, 0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("unknown user should error")
+	}
+	if _, err := m.PredictNormalized(0, 9); !errors.Is(err, ErrUnknownService) {
+		t.Fatal("unknown service should error")
+	}
+}
+
+func TestGradientClippingGuardsOutliers(t *testing.T) {
+	// Feed a pathological mix of extreme values; factors must stay finite.
+	cfg := rtConfig()
+	m := MustNew(cfg)
+	for i := 0; i < 200; i++ {
+		v := 0.000001
+		if i%2 == 0 {
+			v = 20
+		}
+		m.Observe(stream.Sample{Time: time.Duration(i), User: 0, Service: i % 3, Value: v})
+	}
+	got, err := m.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("prediction diverged: %g", got)
+	}
+}
+
+func TestFitEmptyPool(t *testing.T) {
+	m := MustNew(rtConfig())
+	res := m.Fit(FitOptions{})
+	if res.Epochs != 0 || res.Steps != 0 || res.Converged {
+		t.Fatalf("fit on empty pool: %+v", res)
+	}
+}
+
+func TestFitConverges(t *testing.T) {
+	m := MustNew(rtConfig())
+	for i := 0; i < 30; i++ {
+		m.Observe(stream.Sample{Time: time.Second, User: i % 5, Service: i % 6, Value: 1 + float64(i%4)})
+	}
+	res := m.Fit(FitOptions{MaxEpochs: 500, Tol: 1e-3})
+	if !res.Converged {
+		t.Fatalf("fit did not converge: %+v", res)
+	}
+	if res.FinalError <= 0 {
+		t.Fatalf("final error = %g, want positive", res.FinalError)
+	}
+	// Converged model should fit training data much better than chance.
+	if res.FinalError > 0.5 {
+		t.Fatalf("final training error %.3f too high", res.FinalError)
+	}
+}
+
+func TestTrainingErrorEmptyPool(t *testing.T) {
+	m := MustNew(rtConfig())
+	if got := m.TrainingError(); got != 0 {
+		t.Fatalf("empty-pool training error = %g", got)
+	}
+}
+
+func TestCompactPool(t *testing.T) {
+	cfg := rtConfig()
+	cfg.Expiry = time.Minute
+	m := MustNew(cfg)
+	for i := 0; i < 10; i++ {
+		m.Observe(stream.Sample{Time: time.Duration(i) * time.Second, User: i, Service: 0, Value: 1})
+	}
+	m.AdvanceTo(10 * time.Minute)
+	m.CompactPool()
+	if m.PoolLen() != 0 {
+		t.Fatalf("pool should be empty after expiry+compact, len=%d", m.PoolLen())
+	}
+}
+
+func TestPredictWithConfidence(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.Observe(stream.Sample{Time: time.Second, User: 0, Service: 0, Value: 2})
+	_, confFresh, err := m.PredictWithConfidence(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confFresh <= 0 || confFresh > 1 {
+		t.Fatalf("confidence %g outside (0,1]", confFresh)
+	}
+	// Training the pair should raise the confidence.
+	for i := 0; i < 300; i++ {
+		m.ReplayStep()
+	}
+	_, confTrained, err := m.PredictWithConfidence(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confTrained <= confFresh {
+		t.Fatalf("confidence should rise with training: %g -> %g", confFresh, confTrained)
+	}
+	if _, _, err := m.PredictWithConfidence(9, 0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("unknown user")
+	}
+	if _, _, err := m.PredictWithConfidence(0, 9); !errors.Is(err, ErrUnknownService) {
+		t.Fatal("unknown service")
+	}
+	// Value must agree with Predict.
+	v1, _ := m.Predict(0, 0)
+	v2, _, _ := m.PredictWithConfidence(0, 0)
+	if v1 != v2 {
+		t.Fatalf("PredictWithConfidence value %g != Predict %g", v2, v1)
+	}
+}
+
+func TestSetLearnRate(t *testing.T) {
+	m := MustNew(rtConfig())
+	m.SetLearnRate(0.3)
+	if m.Config().LearnRate != 0.3 {
+		t.Fatalf("learn rate = %g, want 0.3", m.Config().LearnRate)
+	}
+	m.SetLearnRate(0) // non-positive rates are ignored
+	if m.Config().LearnRate != 0.3 {
+		t.Fatal("non-positive rate must be ignored")
+	}
+	m.SetLearnRate(-1)
+	if m.Config().LearnRate != 0.3 {
+		t.Fatal("negative rate must be ignored")
+	}
+}

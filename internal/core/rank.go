@@ -1,0 +1,79 @@
+package core
+
+import "sort"
+
+// Ranked is one entry of a candidate ranking.
+type Ranked struct {
+	Service int
+	Value   float64
+}
+
+// RankServices predicts the QoS of every candidate service for a user and
+// returns the candidates sorted by predicted value — ascending when
+// lowerIsBetter (response time), descending otherwise (throughput). This
+// is the candidate-selection query a service adaptation action issues
+// (paper Sec. III). Candidates without a prediction (unknown service, or
+// unknown user) are omitted; the second result lists them.
+func (m *Model) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
+	for _, c := range candidates {
+		v, err := m.Predict(user, c)
+		if err != nil {
+			unknown = append(unknown, c)
+			continue
+		}
+		ranked = append(ranked, Ranked{Service: c, Value: v})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if lowerIsBetter {
+			return ranked[i].Value < ranked[j].Value
+		}
+		return ranked[i].Value > ranked[j].Value
+	})
+	return ranked, unknown
+}
+
+// Best returns the top-ranked candidate, or ok=false when none is
+// predictable.
+func (m *Model) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
+	ranked, _ := m.RankServices(user, candidates, lowerIsBetter)
+	if len(ranked) == 0 {
+		return Ranked{}, false
+	}
+	return ranked[0], true
+}
+
+// Flagged is one entity whose tracked relative error exceeds a threshold.
+type Flagged struct {
+	ID    int
+	Error float64
+}
+
+// HighErrorUsers returns users whose EMA relative error (Eq. 13) is at or
+// above threshold, worst first. Operationally these are the entities the
+// model currently predicts poorly — newcomers still converging, or users
+// whose QoS regime shifted — and the ones adaptation policies should
+// treat with low confidence.
+func (m *Model) HighErrorUsers(threshold float64) []Flagged {
+	return flagHighError(m.users, threshold)
+}
+
+// HighErrorServices is HighErrorUsers for the service side (Eq. 14).
+func (m *Model) HighErrorServices(threshold float64) []Flagged {
+	return flagHighError(m.services, threshold)
+}
+
+func flagHighError(entities map[int]*entity, threshold float64) []Flagged {
+	var out []Flagged
+	for id, e := range entities {
+		if v := e.err.Value(); v >= threshold {
+			out = append(out, Flagged{ID: id, Error: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Error != out[j].Error {
+			return out[i].Error > out[j].Error
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

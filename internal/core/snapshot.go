@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"github.com/qoslab/amf/internal/stats"
+)
+
+// snapshot is the gob-serializable image of a model's learned state. The
+// replay pool is deliberately excluded: a restored model resumes from the
+// learned factors and error trackers and refills its pool from new
+// observations, which is what a restarted prediction service needs.
+type snapshot struct {
+	Config   Config
+	Users    []entitySnapshot
+	Services []entitySnapshot
+	Updates  int64
+}
+
+type entitySnapshot struct {
+	ID      int
+	Vec     []float64
+	Err     float64
+	Updates int
+}
+
+// Snapshot serializes the model's learned state (configuration, latent
+// factors, error trackers). See Restore.
+func (m *Model) Snapshot() ([]byte, error) {
+	snap := snapshot{Config: m.cfg, Updates: m.updates}
+	snap.Users = entitiesToSnapshots(m.users)
+	snap.Services = entitiesToSnapshots(m.services)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func entitiesToSnapshots(m map[int]*entity) []entitySnapshot {
+	out := make([]entitySnapshot, 0, len(m))
+	for id, e := range m {
+		vec := make([]float64, len(e.vec))
+		copy(vec, e.vec)
+		out = append(out, entitySnapshot{ID: id, Vec: vec, Err: e.err.Value(), Updates: e.updates})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore reconstructs a model from a Snapshot. The restored model has an
+// empty replay pool and the snapshot's configuration.
+func Restore(data []byte) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	m, err := New(snap.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot has invalid config: %w", err)
+	}
+	restoreEntities(m, m.users, snap.Users)
+	restoreEntities(m, m.services, snap.Services)
+	m.updates = snap.Updates
+	return m, nil
+}
+
+func restoreEntities(m *Model, dst map[int]*entity, src []entitySnapshot) {
+	for _, es := range src {
+		vec := make([]float64, m.cfg.Rank)
+		copy(vec, es.Vec)
+		dst[es.ID] = &entity{
+			vec:     vec,
+			err:     stats.NewEMAInit(m.cfg.Beta, es.Err),
+			updates: es.Updates,
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	m := MustNew(rtConfig())
+	for i := 0; i < 60; i++ {
+		m.Observe(stream.Sample{Time: time.Duration(i), User: i % 6, Service: i % 8, Value: 0.5 + float64(i%7)})
+	}
+	m.Fit(FitOptions{MaxEpochs: 10, Tol: 1e-9, MinEpochs: 10})
+	return m
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumUsers() != m.NumUsers() || r.NumServices() != m.NumServices() {
+		t.Fatalf("restored counts %d/%d, want %d/%d", r.NumUsers(), r.NumServices(), m.NumUsers(), m.NumServices())
+	}
+	if r.Updates() != m.Updates() {
+		t.Fatalf("restored updates %d, want %d", r.Updates(), m.Updates())
+	}
+	for u := 0; u < 6; u++ {
+		for s := 0; s < 8; s++ {
+			v1, err1 := m.Predict(u, s)
+			v2, err2 := r.Predict(u, s)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if v1 != v2 {
+				t.Fatalf("restored prediction differs at (%d,%d): %g vs %g", u, s, v1, v2)
+			}
+		}
+	}
+	// Error trackers must survive exactly.
+	for u := 0; u < 6; u++ {
+		e1, _ := m.UserError(u)
+		e2, _ := r.UserError(u)
+		if e1 != e2 {
+			t.Fatalf("restored user error differs: %g vs %g", e1, e2)
+		}
+	}
+}
+
+func TestRestoredModelKeepsLearning(t *testing.T) {
+	m := trainedModel(t)
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PoolLen() != 0 {
+		t.Fatalf("restored pool should be empty, len=%d", r.PoolLen())
+	}
+	before := r.Updates()
+	r.Observe(stream.Sample{Time: time.Hour, User: 0, Service: 0, Value: 2})
+	if r.Updates() != before+1 {
+		t.Fatal("restored model should accept new observations")
+	}
+	// New entities should also work post-restore.
+	r.Observe(stream.Sample{Time: time.Hour, User: 1000, Service: 1000, Value: 3})
+	if !r.KnowsUser(1000) || !r.KnowsService(1000) {
+		t.Fatal("restored model should register new entities")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Fatal("expected decode error on empty input")
+	}
+}
+
+func TestSnapshotEmptyModel(t *testing.T) {
+	m := MustNew(rtConfig())
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumUsers() != 0 || r.NumServices() != 0 {
+		t.Fatal("restored empty model should be empty")
+	}
+}

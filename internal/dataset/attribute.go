@@ -1,0 +1,68 @@
+// Package dataset provides a synthetic stand-in for the WS-DREAM QoS
+// dataset used in the paper's evaluation: 142 users x 4,500 web services
+// observed over 64 consecutive 15-minute time slices, with response-time
+// (RT) and throughput (TP) attributes.
+//
+// The real dataset is a network-measurement artifact we cannot ship, so the
+// generator reproduces its *published structure* instead (see DESIGN.md,
+// "Substitutions"): QoS values follow a ground-truth latent-factor model in
+// the log domain (low effective rank, paper Fig. 9), have highly skewed
+// marginals (Fig. 7, Fig. 6 statistics), fluctuate over time around stable
+// per-pair means (Fig. 2a), and vary strongly across users of the same
+// service (Fig. 2b). Values are a pure function of (seed, user, service,
+// slice), so the full 142x4500x64 tensor never needs to be materialized.
+package dataset
+
+import "fmt"
+
+// Attribute identifies a QoS attribute of the dataset.
+type Attribute int
+
+const (
+	// ResponseTime is the time between sending a request and receiving
+	// the response, in seconds. Lower is better. Paper range: 0-20 s.
+	ResponseTime Attribute = iota + 1
+	// Throughput is the data transmission rate of an invocation, in
+	// kbps. Higher is better. Paper range: 0-7000 kbps.
+	Throughput
+)
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	switch a {
+	case ResponseTime:
+		return "RT"
+	case Throughput:
+		return "TP"
+	default:
+		return fmt.Sprintf("Attribute(%d)", int(a))
+	}
+}
+
+// Valid reports whether a is a known attribute.
+func (a Attribute) Valid() bool { return a == ResponseTime || a == Throughput }
+
+// Range returns the paper's value range [min, max] for the attribute.
+func (a Attribute) Range() (min, max float64) {
+	switch a {
+	case ResponseTime:
+		return 0, 20
+	case Throughput:
+		return 0, 7000
+	default:
+		panic(fmt.Sprintf("dataset: Range on invalid attribute %d", int(a)))
+	}
+}
+
+// DefaultAlpha returns the Box-Cox alpha the paper tunes for the attribute
+// (Sec. V-C): -0.007 for response time and -0.05 for throughput.
+func (a Attribute) DefaultAlpha() float64 {
+	switch a {
+	case ResponseTime:
+		return -0.007
+	case Throughput:
+		return -0.05
+	default:
+		panic(fmt.Sprintf("dataset: DefaultAlpha on invalid attribute %d", int(a)))
+	}
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTriplets asserts the triplet parser never panics and that any
+// input it accepts round-trips through WriteTriplets.
+func FuzzReadTriplets(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteTriplets(&seed, ResponseTime, 3, 4, 8, sampleTriplets()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("# amf-qos-triplets v1\nattr=RT users=2 services=2 slices=2\n0 1 1 2.5\n")
+	f.Add("# amf-qos-triplets v1\nattr=TP users=1 services=1 slices=1\n0 0 0 1e300\n")
+	f.Add("# amf-qos-triplets v1\nattr=RT users=1 services=1\n")
+	f.Add("garbage")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		attr, users, services, slices, ts, err := ReadTriplets(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Accepted data must satisfy the documented invariants...
+		if !attr.Valid() || users <= 0 || services <= 0 || slices <= 0 {
+			t.Fatalf("accepted invalid shape: %v %d %d %d", attr, users, services, slices)
+		}
+		for _, tr := range ts {
+			if tr.User < 0 || tr.User >= users || tr.Service < 0 || tr.Service >= services || tr.Slice < 0 || tr.Slice >= slices {
+				t.Fatalf("accepted out-of-shape triplet %+v", tr)
+			}
+		}
+		// ...and round-trip losslessly.
+		var buf bytes.Buffer
+		if err := WriteTriplets(&buf, attr, users, services, slices, ts); err != nil {
+			t.Fatal(err)
+		}
+		attr2, u2, s2, sl2, ts2, err := ReadTriplets(&buf)
+		if err != nil {
+			t.Fatalf("re-read of accepted data failed: %v", err)
+		}
+		if attr2 != attr || u2 != users || s2 != services || sl2 != slices || len(ts2) != len(ts) {
+			t.Fatal("round-trip changed shape")
+		}
+		for i := range ts {
+			if ts[i] != ts2[i] {
+				t.Fatalf("round-trip changed triplet %d: %+v vs %+v", i, ts[i], ts2[i])
+			}
+		}
+	})
+}

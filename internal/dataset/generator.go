@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/qoslab/amf/internal/matrix"
+)
+
+// Config describes the shape of a synthetic QoS dataset. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	Users    int           // number of service users (PlanetLab nodes in the paper)
+	Services int           // number of web services
+	Slices   int           // number of consecutive time slices
+	Interval time.Duration // wall-clock length of one slice (15 min in the paper)
+	Rank     int           // true latent dimensionality of the ground-truth model
+	Seed     int64         // master seed; same seed ⇒ identical dataset
+}
+
+// DefaultConfig returns the paper's dataset shape: 142 users, 4,500
+// services, 64 slices at 15-minute intervals (paper Fig. 6).
+func DefaultConfig() Config {
+	return Config{
+		Users:    142,
+		Services: 4500,
+		Slices:   64,
+		Interval: 15 * time.Minute,
+		Rank:     8,
+		Seed:     2014,
+	}
+}
+
+// SmallConfig returns a reduced shape for unit tests and quick examples.
+func SmallConfig() Config {
+	return Config{Users: 30, Services: 120, Slices: 8, Interval: 15 * time.Minute, Rank: 6, Seed: 7}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("dataset: Users must be positive, got %d", c.Users)
+	case c.Services <= 0:
+		return fmt.Errorf("dataset: Services must be positive, got %d", c.Services)
+	case c.Slices <= 0:
+		return fmt.Errorf("dataset: Slices must be positive, got %d", c.Slices)
+	case c.Rank <= 0:
+		return fmt.Errorf("dataset: Rank must be positive, got %d", c.Rank)
+	case c.Interval <= 0:
+		return fmt.Errorf("dataset: Interval must be positive, got %v", c.Interval)
+	}
+	return nil
+}
+
+// attrModel holds the log-domain calibration of one QoS attribute. A QoS
+// value is
+//
+//	Q(i,j,t) = clamp( exp( mu + a_i + b_j + u_i·v_j + x_i(t) + y_j(t) + ε ) · spike ,  [0, max] )
+//
+// where a/b are static user/service biases, u·v is the ground-truth
+// low-rank term, x/y are AR(1) temporal states of the user's network and
+// the service's load, ε is per-(pair,slice) noise, and spike is an
+// occasional multiplicative outage factor. All variances below are in the
+// log domain; their sum sets the marginal's log-variance.
+type attrModel struct {
+	mu        float64 // log-domain location
+	biasUser  float64 // stddev of a_i
+	biasSvc   float64 // stddev of b_j
+	latent    float64 // per-coordinate stddev of u and v
+	tempUser  float64 // stationary stddev of x_i(t)
+	tempSvc   float64 // stationary stddev of y_j(t)
+	noise     float64 // stddev of ε
+	rho       float64 // AR(1) coefficient of the temporal states
+	spikeProb float64 // probability of a spike per (pair, slice)
+	spikeLo   float64 // spike multiplier lower bound
+	spikeHi   float64 // spike multiplier upper bound
+	max       float64 // clamp ceiling (paper range)
+	salt      uint64  // hash-domain separator between attributes
+}
+
+// Calibration targets (paper Fig. 6): RT mean ≈ 1.33 s in [0, 20];
+// TP mean ≈ 11.35 kbps in [0, 7000] with a much heavier tail.
+func rtModel(rank int) attrModel {
+	// Total log-variance ≈ 1.0 ⇒ lognormal mean = exp(mu + 0.5).
+	m := attrModel{
+		mu:       math.Log(1.33) - 0.5,
+		biasUser: math.Sqrt(0.15),
+		biasSvc:  math.Sqrt(0.25),
+		tempUser: math.Sqrt(0.05),
+		tempSvc:  math.Sqrt(0.10),
+		noise:    math.Sqrt(0.15),
+		rho:      0.85,
+
+		spikeProb: 0.015,
+		spikeLo:   3,
+		spikeHi:   8,
+		max:       20,
+		salt:      0x52545f5254, // "RT_RT"
+	}
+	m.latent = math.Pow(0.30/float64(rank), 0.25) // rank·latent⁴ = 0.30
+	return m
+}
+
+func tpModel(rank int) attrModel {
+	// Total log-variance ≈ 1.6 ⇒ heavy right tail, median ≈ 5 kbps,
+	// with spikes carrying the marginal out toward the 7000 kbps cap.
+	// Most of the variance is static (user/service identity and latent
+	// structure): throughput is dominated by link capacity and service
+	// provisioning, which collaborative filtering can learn, with a
+	// smaller temporal/noise component than response time.
+	m := attrModel{
+		mu:       math.Log(11.35) - 0.8,
+		biasUser: math.Sqrt(0.25),
+		biasSvc:  math.Sqrt(0.55),
+		tempUser: math.Sqrt(0.06),
+		tempSvc:  math.Sqrt(0.10),
+		noise:    math.Sqrt(0.12),
+		rho:      0.85,
+
+		spikeProb: 0.01,
+		spikeLo:   4,
+		spikeHi:   12,
+		max:       7000,
+		salt:      0x54505f5450, // "TP_TP"
+	}
+	m.latent = math.Pow(0.52/float64(rank), 0.25) // rank·latent⁴ = 0.52
+	return m
+}
+
+// Generator produces deterministic synthetic QoS observations. It is safe
+// for concurrent use after construction: Value is a pure function of its
+// arguments plus precomputed immutable state.
+type Generator struct {
+	cfg Config
+	rt  attrModel
+	tp  attrModel
+
+	// Ground-truth static structure, per attribute index (0=RT, 1=TP).
+	userBias [2][]float64
+	svcBias  [2][]float64
+	userLat  [2][][]float64
+	svcLat   [2][][]float64
+	// Temporal AR(1) trajectories: [attr][entity][slice].
+	userTemp [2][][]float64
+	svcTemp  [2][][]float64
+}
+
+// New builds a Generator for the configuration. The ground-truth state is
+// O((Users+Services)·(Rank+Slices)) in memory; the QoS tensor itself is
+// never stored.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rt: rtModel(cfg.Rank), tp: tpModel(cfg.Rank)}
+	for ai, m := range []attrModel{g.rt, g.tp} {
+		seed := mix(uint64(cfg.Seed), m.salt)
+		g.userBias[ai] = staticNormals(seed, 'u', cfg.Users, m.biasUser)
+		g.svcBias[ai] = staticNormals(seed, 's', cfg.Services, m.biasSvc)
+		g.userLat[ai] = latentVectors(seed, 'U', cfg.Users, cfg.Rank, m.latent)
+		g.svcLat[ai] = latentVectors(seed, 'S', cfg.Services, cfg.Rank, m.latent)
+		g.userTemp[ai] = ar1Paths(seed, 'x', cfg.Users, cfg.Slices, m.rho, m.tempUser)
+		g.svcTemp[ai] = ar1Paths(seed, 'y', cfg.Services, cfg.Slices, m.rho, m.tempSvc)
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Generator {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func staticNormals(seed uint64, tag byte, n int, sd float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = sd * hashNormal(mix(seed, uint64(tag), uint64(i)))
+	}
+	return out
+}
+
+func latentVectors(seed uint64, tag byte, n, rank int, sd float64) [][]float64 {
+	out := make([][]float64, n)
+	flat := make([]float64, n*rank)
+	for i := range out {
+		v := flat[i*rank : (i+1)*rank : (i+1)*rank]
+		for k := range v {
+			v[k] = sd * hashNormal(mix(seed, uint64(tag), uint64(i), uint64(k)))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ar1Paths precomputes stationary AR(1) trajectories:
+// x(0) ~ N(0, sd²);  x(t) = rho·x(t−1) + sqrt(1−rho²)·sd·ε(t).
+func ar1Paths(seed uint64, tag byte, n, slices int, rho, sd float64) [][]float64 {
+	innov := sd * math.Sqrt(1-rho*rho)
+	out := make([][]float64, n)
+	flat := make([]float64, n*slices)
+	for i := range out {
+		p := flat[i*slices : (i+1)*slices : (i+1)*slices]
+		p[0] = sd * hashNormal(mix(seed, uint64(tag), uint64(i), 0))
+		for t := 1; t < slices; t++ {
+			p[t] = rho*p[t-1] + innov*hashNormal(mix(seed, uint64(tag), uint64(i), uint64(t)))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+func (g *Generator) model(a Attribute) (attrModel, int) {
+	switch a {
+	case ResponseTime:
+		return g.rt, 0
+	case Throughput:
+		return g.tp, 1
+	default:
+		panic(fmt.Sprintf("dataset: invalid attribute %d", int(a)))
+	}
+}
+
+func (g *Generator) checkIndex(user, service, slice int) {
+	if user < 0 || user >= g.cfg.Users || service < 0 || service >= g.cfg.Services || slice < 0 || slice >= g.cfg.Slices {
+		panic(fmt.Sprintf("dataset: index (user=%d, service=%d, slice=%d) out of range for %dx%dx%d",
+			user, service, slice, g.cfg.Users, g.cfg.Services, g.cfg.Slices))
+	}
+}
+
+// Value returns the QoS value observed by user on service during slice.
+// It is deterministic in (Config.Seed, attr, user, service, slice) and
+// always lies within the attribute's paper range.
+func (g *Generator) Value(attr Attribute, user, service, slice int) float64 {
+	g.checkIndex(user, service, slice)
+	m, ai := g.model(attr)
+
+	logQ := m.mu +
+		g.userBias[ai][user] + g.svcBias[ai][service] +
+		matrix.Dot(g.userLat[ai][user], g.svcLat[ai][service]) +
+		g.userTemp[ai][user][slice] + g.svcTemp[ai][service][slice]
+
+	h := mix(uint64(g.cfg.Seed), m.salt, 0xce11, uint64(user), uint64(service), uint64(slice))
+	logQ += m.noise * hashNormal(h)
+
+	q := math.Exp(logQ)
+	// Occasional spike: a transient outage/congestion multiplier, giving
+	// the marginal its far tail (Fig. 7's cut-off region).
+	hs := splitmix64(h ^ 0x51c3b5a7d2e9f041)
+	if hashUniform(hs) < m.spikeProb {
+		q *= m.spikeLo + (m.spikeHi-m.spikeLo)*hashUniform(splitmix64(hs))
+	}
+	if q > m.max {
+		q = m.max
+	}
+	return q
+}
+
+// PairMean returns the stationary per-pair mean QoS in the log model
+// (exp of the static part plus half the temporal+noise variance). Fig. 2a
+// shows observed values fluctuating around this level; the adaptation
+// simulator uses it as the "true" quality of a binding.
+func (g *Generator) PairMean(attr Attribute, user, service int) float64 {
+	g.checkIndex(user, service, 0)
+	m, ai := g.model(attr)
+	static := m.mu + g.userBias[ai][user] + g.svcBias[ai][service] +
+		matrix.Dot(g.userLat[ai][user], g.svcLat[ai][service])
+	varDyn := m.tempUser*m.tempUser + m.tempSvc*m.tempSvc + m.noise*m.noise
+	q := math.Exp(static + varDyn/2)
+	if q > m.max {
+		q = m.max
+	}
+	return q
+}
+
+// SliceMatrix materializes the full Users x Services matrix for one slice.
+func (g *Generator) SliceMatrix(attr Attribute, slice int) *matrix.Dense {
+	g.checkIndex(0, 0, slice)
+	d := matrix.NewDense(g.cfg.Users, g.cfg.Services)
+	for i := 0; i < g.cfg.Users; i++ {
+		row := d.Row(i)
+		for j := 0; j < g.cfg.Services; j++ {
+			row[j] = g.Value(attr, i, j, slice)
+		}
+	}
+	return d
+}
+
+// SliceTime returns the wall-clock offset of the start of a slice from the
+// start of the dataset.
+func (g *Generator) SliceTime(slice int) time.Duration {
+	return time.Duration(slice) * g.cfg.Interval
+}

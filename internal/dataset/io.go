@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Triplet is one serialized observation: user i invoked service j during
+// time slice t and measured QoS value v. This is the on-disk exchange
+// format written by cmd/qosgen and consumed by the examples.
+type Triplet struct {
+	User    int
+	Service int
+	Slice   int
+	Value   float64
+}
+
+// header identifies the triplet file format.
+const header = "# amf-qos-triplets v1"
+
+// WriteTriplets serializes triplets for one attribute, preceded by a
+// header and a shape line. Format (whitespace-separated):
+//
+//	# amf-qos-triplets v1
+//	attr=RT users=142 services=4500 slices=64
+//	<user> <service> <slice> <value>
+//	...
+func WriteTriplets(w io.Writer, attr Attribute, users, services, slices int, ts []Triplet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\nattr=%s users=%d services=%d slices=%d\n",
+		header, attr, users, services, slices); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, t := range ts {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %s\n",
+			t.User, t.Service, t.Slice, strconv.FormatFloat(t.Value, 'g', -1, 64)); err != nil {
+			return fmt.Errorf("dataset: write triplet: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadTriplets parses the format written by WriteTriplets. It returns the
+// attribute, the declared shape, and the triplets, validating that every
+// index is inside the declared shape.
+func ReadTriplets(r io.Reader) (attr Attribute, users, services, slices int, ts []Triplet, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		return 0, 0, 0, 0, nil, fmt.Errorf("dataset: empty input: %w", io.ErrUnexpectedEOF)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != header {
+		return 0, 0, 0, 0, nil, fmt.Errorf("dataset: bad header %q", got)
+	}
+	if !sc.Scan() {
+		return 0, 0, 0, 0, nil, fmt.Errorf("dataset: missing shape line: %w", io.ErrUnexpectedEOF)
+	}
+	for _, field := range strings.Fields(sc.Text()) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: bad shape field %q", field)
+		}
+		switch k {
+		case "attr":
+			switch v {
+			case "RT":
+				attr = ResponseTime
+			case "TP":
+				attr = Throughput
+			default:
+				return 0, 0, 0, 0, nil, fmt.Errorf("dataset: unknown attribute %q", v)
+			}
+		case "users", "services", "slices":
+			n, convErr := strconv.Atoi(v)
+			if convErr != nil || n <= 0 {
+				return 0, 0, 0, 0, nil, fmt.Errorf("dataset: bad %s=%q", k, v)
+			}
+			switch k {
+			case "users":
+				users = n
+			case "services":
+				services = n
+			case "slices":
+				slices = n
+			}
+		default:
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: unknown shape field %q", k)
+		}
+	}
+	if !attr.Valid() || users == 0 || services == 0 || slices == 0 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("dataset: incomplete shape line")
+	}
+
+	lineNo := 2
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		var t Triplet
+		var convErr error
+		if t.User, convErr = strconv.Atoi(fields[0]); convErr != nil {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: bad user: %w", lineNo, convErr)
+		}
+		if t.Service, convErr = strconv.Atoi(fields[1]); convErr != nil {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: bad service: %w", lineNo, convErr)
+		}
+		if t.Slice, convErr = strconv.Atoi(fields[2]); convErr != nil {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: bad slice: %w", lineNo, convErr)
+		}
+		if t.Value, convErr = strconv.ParseFloat(fields[3], 64); convErr != nil {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: bad value: %w", lineNo, convErr)
+		}
+		if t.User < 0 || t.User >= users || t.Service < 0 || t.Service >= services || t.Slice < 0 || t.Slice >= slices {
+			return 0, 0, 0, 0, nil, fmt.Errorf("dataset: line %d: triplet (%d,%d,%d) outside shape %dx%dx%d",
+				lineNo, t.User, t.Service, t.Slice, users, services, slices)
+		}
+		ts = append(ts, t)
+	}
+	if scanErr := sc.Err(); scanErr != nil {
+		return 0, 0, 0, 0, nil, fmt.Errorf("dataset: scan: %w", scanErr)
+	}
+	return attr, users, services, slices, ts, nil
+}

@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTriplets() []Triplet {
+	return []Triplet{
+		{User: 0, Service: 0, Slice: 0, Value: 1.4},
+		{User: 1, Service: 3, Slice: 2, Value: 0.7},
+		{User: 2, Service: 1, Slice: 7, Value: 0.0001},
+	}
+}
+
+func TestTripletsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleTriplets()
+	if err := WriteTriplets(&buf, ResponseTime, 3, 4, 8, in); err != nil {
+		t.Fatal(err)
+	}
+	attr, users, services, slices, out, err := ReadTriplets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != ResponseTime || users != 3 || services != 4 || slices != 8 {
+		t.Fatalf("shape mismatch: %v %d %d %d", attr, users, services, slices)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d triplets, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("triplet %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestTripletsRoundTripThroughput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTriplets(&buf, Throughput, 2, 2, 2, []Triplet{{Value: 6999.5}}); err != nil {
+		t.Fatal(err)
+	}
+	attr, _, _, _, out, err := ReadTriplets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != Throughput || out[0].Value != 6999.5 {
+		t.Fatalf("got %v %v", attr, out)
+	}
+}
+
+func TestReadTripletsSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# amf-qos-triplets v1\nattr=RT users=2 services=2 slices=2\n\n# comment\n0 1 1 2.5\n"
+	_, _, _, _, out, err := ReadTriplets(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != 2.5 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestReadTripletsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "nope\n",
+		"missing shape":    "# amf-qos-triplets v1\n",
+		"bad shape field":  "# amf-qos-triplets v1\nattr=RT users\n",
+		"unknown attr":     "# amf-qos-triplets v1\nattr=XX users=1 services=1 slices=1\n",
+		"bad count":        "# amf-qos-triplets v1\nattr=RT users=x services=1 slices=1\n",
+		"negative count":   "# amf-qos-triplets v1\nattr=RT users=-1 services=1 slices=1\n",
+		"unknown field":    "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1 bogus=2\n",
+		"incomplete shape": "# amf-qos-triplets v1\nattr=RT users=1 services=1\n",
+		"short line":       "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n0 0 0\n",
+		"bad user":         "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\nx 0 0 1\n",
+		"bad service":      "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n0 x 0 1\n",
+		"bad slice":        "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n0 0 x 1\n",
+		"bad value":        "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n0 0 0 x\n",
+		"index out of rng": "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n1 0 0 1\n",
+		"slice out of rng": "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n0 0 5 1\n",
+		"negative indices": "# amf-qos-triplets v1\nattr=RT users=1 services=1 slices=1\n-1 0 0 1\n",
+	}
+	for name, text := range cases {
+		if _, _, _, _, _, err := ReadTriplets(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteTripletsGeneratorIntegration(t *testing.T) {
+	g := MustNew(SmallConfig())
+	cfg := g.Config()
+	var ts []Triplet
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			ts = append(ts, Triplet{User: i, Service: j, Slice: 0, Value: g.Value(ResponseTime, i, j, 0)})
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTriplets(&buf, ResponseTime, cfg.Users, cfg.Services, cfg.Slices, ts); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, out, err := ReadTriplets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if out[i].Value != ts[i].Value {
+			t.Fatalf("value drift at %d: %g vs %g", i, out[i].Value, ts[i].Value)
+		}
+	}
+}
+
+func TestStatisticsString(t *testing.T) {
+	g := MustNew(SmallConfig())
+	s := g.SampleStatistics(2, 500)
+	text := s.String()
+	for _, want := range []string{"#Users", "RT average", "TP range"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("statistics table missing %q:\n%s", want, text)
+		}
+	}
+	if s.RT.Count == 0 || s.TP.Count == 0 {
+		t.Fatal("sampling produced no values")
+	}
+}
+
+func TestSampleStatisticsFullScan(t *testing.T) {
+	cfg := Config{Users: 5, Services: 6, Slices: 2, Interval: SmallConfig().Interval, Rank: 3, Seed: 1}
+	g := MustNew(cfg)
+	s := g.SampleStatistics(1, 0) // full scan of one slice
+	if s.RT.Count != 30 {
+		t.Fatalf("full scan count = %d, want 30", s.RT.Count)
+	}
+}
+
+func TestAttributeHistogram(t *testing.T) {
+	g := MustNew(SmallConfig())
+	h := g.AttributeHistogram(ResponseTime, 10, 20, 2, 1000)
+	if h.Total() != 2000 {
+		t.Fatalf("histogram total = %d, want 2000", h.Total())
+	}
+	// RT mass concentrates at small values (right-skewed, Fig. 7):
+	// the first quarter of bins should hold most in-range observations.
+	firstQuarter, rest := 0, 0
+	for i, c := range h.Counts {
+		if i < len(h.Counts)/4 {
+			firstQuarter += c
+		} else {
+			rest += c
+		}
+	}
+	if firstQuarter <= rest {
+		t.Errorf("RT histogram not right-skewed: head=%d tail=%d", firstQuarter, rest)
+	}
+}

@@ -1,0 +1,37 @@
+package dataset
+
+import "math"
+
+// splitmix64 is the SplitMix64 finalizer: a fast, high-quality 64-bit
+// mixing function. It lets the generator derive an independent,
+// reproducible random stream for every (seed, user, service, slice, salt)
+// tuple without storing any per-cell state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix hashes a sequence of 64-bit words into one, chaining splitmix64.
+func mix(words ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return h
+}
+
+// hashUniform maps a hash to a uniform float64 in (0, 1). The +1/2^54
+// offset keeps the result strictly positive so it is safe inside log().
+func hashUniform(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// hashNormal returns a standard normal deviate derived deterministically
+// from the hash via the Box-Muller transform on two decorrelated uniforms.
+func hashNormal(h uint64) float64 {
+	u1 := hashUniform(h)
+	u2 := hashUniform(splitmix64(h ^ 0xda3e39cb94b95bdb))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

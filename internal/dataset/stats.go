@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/qoslab/amf/internal/stats"
+)
+
+// Statistics mirrors the paper's data-statistics table (Fig. 6): counts,
+// interval, and per-attribute range and average.
+type Statistics struct {
+	Users    int
+	Services int
+	Slices   int
+	Interval time.Duration
+
+	RT stats.Summary
+	TP stats.Summary
+}
+
+// SampleStatistics estimates dataset statistics from a random subsample of
+// sampleSlices slices and sampleCells cells per slice (sampling keeps the
+// full 142x4500x64 tensor out of memory). Passing sampleCells <= 0 scans
+// every cell of the selected slices. Deterministic in the generator seed.
+func (g *Generator) SampleStatistics(sampleSlices, sampleCells int) Statistics {
+	cfg := g.cfg
+	if sampleSlices <= 0 || sampleSlices > cfg.Slices {
+		sampleSlices = cfg.Slices
+	}
+	var rtVals, tpVals []float64
+	for k := 0; k < sampleSlices; k++ {
+		// Spread selected slices evenly across the trace.
+		t := k * cfg.Slices / sampleSlices
+		n := sampleCells
+		if n <= 0 {
+			n = cfg.Users * cfg.Services
+		}
+		for c := 0; c < n; c++ {
+			var i, j int
+			if sampleCells <= 0 {
+				i, j = c/cfg.Services, c%cfg.Services
+			} else {
+				h := mix(uint64(cfg.Seed), 0x57a7, uint64(t), uint64(c))
+				i = int(h % uint64(cfg.Users))
+				j = int(splitmix64(h) % uint64(cfg.Services))
+			}
+			rtVals = append(rtVals, g.Value(ResponseTime, i, j, t))
+			tpVals = append(tpVals, g.Value(Throughput, i, j, t))
+		}
+	}
+	return Statistics{
+		Users:    cfg.Users,
+		Services: cfg.Services,
+		Slices:   cfg.Slices,
+		Interval: cfg.Interval,
+		RT:       stats.Summarize(rtVals),
+		TP:       stats.Summarize(tpVals),
+	}
+}
+
+// String renders the statistics as the paper's Fig. 6 table.
+func (s Statistics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %v\n", "#Users", s.Users)
+	fmt.Fprintf(&b, "%-14s %v\n", "#Services", s.Services)
+	fmt.Fprintf(&b, "%-14s %v\n", "#Time slices", s.Slices)
+	fmt.Fprintf(&b, "%-14s %v\n", "#Time interval", s.Interval)
+	fmt.Fprintf(&b, "%-14s %.3g ~ %.3g s\n", "RT range", s.RT.Min, s.RT.Max)
+	fmt.Fprintf(&b, "%-14s %.3g s\n", "RT average", s.RT.Mean)
+	fmt.Fprintf(&b, "%-14s %.3g ~ %.4g kbps\n", "TP range", s.TP.Min, s.TP.Max)
+	fmt.Fprintf(&b, "%-14s %.4g kbps\n", "TP average", s.TP.Mean)
+	return b.String()
+}
+
+// AttributeHistogram builds the marginal distribution of one attribute
+// over a subsample (paper Fig. 7; cut at `hi`, e.g. 10 s for RT or
+// 150 kbps for TP, with the tail counted as over-range).
+func (g *Generator) AttributeHistogram(attr Attribute, hi float64, bins, sampleSlices, sampleCells int) *stats.Histogram {
+	h := stats.NewHistogram(0, hi, bins)
+	cfg := g.cfg
+	if sampleSlices <= 0 || sampleSlices > cfg.Slices {
+		sampleSlices = cfg.Slices
+	}
+	for k := 0; k < sampleSlices; k++ {
+		t := k * cfg.Slices / sampleSlices
+		n := sampleCells
+		if n <= 0 {
+			n = cfg.Users * cfg.Services
+		}
+		for c := 0; c < n; c++ {
+			var i, j int
+			if sampleCells <= 0 {
+				i, j = c/cfg.Services, c%cfg.Services
+			} else {
+				hh := mix(uint64(cfg.Seed), 0xb157, uint64(attr), uint64(t), uint64(c))
+				i = int(hh % uint64(cfg.Users))
+				j = int(splitmix64(hh) % uint64(cfg.Services))
+			}
+			h.Observe(g.Value(attr, i, j, t))
+		}
+	}
+	return h
+}

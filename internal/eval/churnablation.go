@@ -1,0 +1,36 @@
+package eval
+
+import "github.com/qoslab/amf/internal/dataset"
+
+// ChurnAblationResult compares the Fig. 14 churn experiment with adaptive
+// weights enabled (the paper's AMF) against the same run with plain
+// unweighted online updates (Eq. 8-9). The adaptive weights are the
+// paper's scalability mechanism: they shield converged incumbents from
+// noisy newcomers, so the unweighted variant should show larger incumbent
+// drift after the join.
+type ChurnAblationResult struct {
+	Attr     dataset.Attribute
+	Adaptive *Fig14Result
+	Fixed    *Fig14Result
+}
+
+// RunChurnAblation runs Fig. 14 twice, toggling the adaptive weights.
+func RunChurnAblation(opts Fig14Options) (*ChurnAblationResult, error) {
+	adaptive, err := RunFig14(opts)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := runFig14Variant(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	return &ChurnAblationResult{Attr: opts.Attr, Adaptive: adaptive, Fixed: fixed}, nil
+}
+
+// Drifts returns the incumbents' worst post-join MRE drift under each
+// variant.
+func (r *ChurnAblationResult) Drifts() (adaptive, fixed float64) {
+	_, _, adaptive = r.Adaptive.NewcomerConvergence()
+	_, _, fixed = r.Fixed.NewcomerConvergence()
+	return adaptive, fixed
+}

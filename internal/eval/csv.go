@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a Table1Result (also used by the Fig. 11/12
+// runners) as CSV with columns approach, density, mae, mre, npre, n,
+// missing — the machine-readable companion of the rendered tables, for
+// plotting the figures externally.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attr", "approach", "density", "mae", "mre", "npre", "n", "missing"}); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			r.Attr.String(),
+			c.Approach,
+			strconv.FormatFloat(c.Density, 'g', -1, 64),
+			strconv.FormatFloat(c.Metrics.MAE, 'g', -1, 64),
+			strconv.FormatFloat(c.Metrics.MRE, 'g', -1, 64),
+			strconv.FormatFloat(c.Metrics.NPRE, 'g', -1, 64),
+			strconv.Itoa(c.Metrics.N),
+			strconv.Itoa(c.Metrics.Missing),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV serializes the churn trajectory (Fig. 14) as CSV.
+func (r *Fig14Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attr", "steps", "seconds", "afterJoin", "existingMRE", "newMRE"}); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		newMRE := ""
+		if p.AfterJoin {
+			newMRE = strconv.FormatFloat(p.NewMRE, 'g', -1, 64)
+		}
+		rec := []string{
+			r.Attr.String(),
+			strconv.Itoa(p.Steps),
+			strconv.FormatFloat(p.Seconds, 'g', -1, 64),
+			strconv.FormatBool(p.AfterJoin),
+			strconv.FormatFloat(p.ExistingMRE, 'g', -1, 64),
+			newMRE,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV serializes per-slice convergence times (Fig. 13) as CSV.
+func (r *Fig13Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"attr", "slice"}, r.Order...)
+	header = append(header, "amfEpochs")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for t := 0; t < r.Slices; t++ {
+		rec := []string{r.Attr.String(), strconv.Itoa(t)}
+		for _, name := range r.Order {
+			rec = append(rec, strconv.FormatFloat(r.Seconds[name][t], 'g', -1, 64))
+		}
+		rec = append(rec, strconv.Itoa(r.AMFEpochs[t]))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV serializes parameter sweeps as CSV.
+func (r *ParamSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attr", "param", "value", "mae", "mre", "npre"}); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			r.Attr.String(),
+			p.Param,
+			strconv.FormatFloat(p.Value, 'g', -1, 64),
+			strconv.FormatFloat(p.Metrics.MAE, 'g', -1, 64),
+			strconv.FormatFloat(p.Metrics.MRE, 'g', -1, 64),
+			strconv.FormatFloat(p.Metrics.NPRE, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flush csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func TestMeanApproachesTrainAndPredict(t *testing.T) {
+	g := dataset.MustNew(tinyDataset())
+	sp, err := stream.SliceSplit(g, dataset.ResponseTime, 0, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewTrainContext(dataset.ResponseTime, g.Config().Users, g.Config().Services, sp, 1)
+	for _, a := range []Approach{UMEANApproach(), IMEANApproach()} {
+		pred, err := a.Train(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		m := Compute(pred, sp.Test)
+		if m.N == 0 {
+			t.Fatalf("%s made no predictions", a.Name)
+		}
+		if m.MRE <= 0 || m.MRE > 5 {
+			t.Fatalf("%s MRE = %g implausible", a.Name, m.MRE)
+		}
+	}
+}
+
+func TestAMFAutoAlphaCompetitive(t *testing.T) {
+	g := dataset.MustNew(tinyDataset())
+	sp, err := stream.SliceSplit(g, dataset.ResponseTime, 0, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewTrainContext(dataset.ResponseTime, g.Config().Users, g.Config().Services, sp, 2)
+
+	autoPred, err := AMFAutoAlphaApproach().Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handPred, err := AMFApproach("AMF", AMFOverrides{}).Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := Compute(autoPred, sp.Test)
+	hand := Compute(handPred, sp.Test)
+	// The estimated alpha must be in the same league as the hand-tuned
+	// one (within 25% on MRE) — the point of the extension.
+	if auto.MRE > hand.MRE*1.25 {
+		t.Fatalf("auto-alpha MRE %.3f much worse than hand-tuned %.3f", auto.MRE, hand.MRE)
+	}
+}
+
+func TestExtendedApproachesComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range ExtendedApproaches() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"UMEAN", "IMEAN", "UPCC", "IPCC", "UIPCC", "PMF", "BiasedMF", "NIMF", "AMF(auto)", "AMF"} {
+		if !names[want] {
+			t.Errorf("missing approach %s", want)
+		}
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	res, err := RunTable1(Table1Options{
+		Dataset:    tinyDataset(),
+		Attr:       dataset.ResponseTime,
+		Densities:  []float64{0.3},
+		Rounds:     1,
+		Seed:       1,
+		Approaches: []Approach{UMEANApproach(), AMFApproach("AMF", AMFOverrides{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 approaches
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "attr,approach,density") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(out, "UMEAN") || !strings.Contains(out, "AMF") {
+		t.Fatalf("csv missing approaches:\n%s", out)
+	}
+}
+
+func TestFig13And14AndParamsCSV(t *testing.T) {
+	ds := tinyDataset()
+	f13, err := RunFig13(Fig13Options{Dataset: ds, Attr: dataset.ResponseTime, Slices: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f13.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 3 {
+		t.Fatalf("fig13 csv lines = %d", got)
+	}
+
+	f14, err := RunFig14(Fig14Options{
+		Dataset: ds, Attr: dataset.ResponseTime, Seed: 1,
+		PointsBefore: 2, PointsAfter: 2, StepsPerPoint: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f14.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2+1+2 { // header + before + immediate + after
+		t.Fatalf("fig14 csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	// Pre-join rows must have an empty newMRE column.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("pre-join row should end with empty newMRE: %q", lines[1])
+	}
+
+	sweep, err := RunParamSweep(ParamSweepOptions{
+		Dataset: ds, Attr: dataset.ResponseTime, Rounds: 1, Seed: 1,
+		Ranks: []int{5}, Regs: []float64{0.001}, LearnRates: []float64{0.8}, Betas: []float64{0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := sweep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 5 {
+		t.Fatalf("sweep csv lines = %d", got)
+	}
+}
+
+func TestBiasedMFAndNIMFApproachesTrain(t *testing.T) {
+	g := dataset.MustNew(tinyDataset())
+	sp, err := stream.SliceSplit(g, dataset.ResponseTime, 0, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewTrainContext(dataset.ResponseTime, g.Config().Users, g.Config().Services, sp, 3)
+	for _, a := range []Approach{BiasedMFApproach(), NIMFApproach()} {
+		pred, err := a.Train(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		m := Compute(pred, sp.Test)
+		if m.N == 0 {
+			t.Fatalf("%s made no predictions", a.Name)
+		}
+		// Both extension baselines must beat the user-mean floor on MAE.
+		floorPred, err := UMEANApproach().Train(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := Compute(floorPred, sp.Test)
+		if m.MAE > floor.MAE*1.3 {
+			t.Errorf("%s MAE %.3f implausibly worse than UMEAN %.3f", a.Name, m.MAE, floor.MAE)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package eval contains the evaluation harness of the reproduction: the
+// paper's accuracy metrics (MAE, MRE, NPRE), the approach registry that
+// trains each compared predictor under the paper's protocol, and one
+// runner per table/figure of the evaluation section (see DESIGN.md's
+// experiment index).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/qoslab/amf/internal/stats"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// PredictFunc is the uniform prediction interface the harness evaluates:
+// it returns the estimated QoS value for (user, service) and whether an
+// estimate exists.
+type PredictFunc func(user, service int) (float64, bool)
+
+// Metrics bundles the paper's three accuracy metrics (Sec. V-B):
+//
+//	MAE  — mean absolute error            Σ|R̂−R| / N
+//	MRE  — median relative error          median |R̂−R| / R
+//	NPRE — 90th-percentile relative error p90    |R̂−R| / R
+//
+// The paper optimizes and argues for the relative metrics; MAE is kept
+// for comparability with prior work.
+type Metrics struct {
+	MAE  float64
+	MRE  float64
+	NPRE float64
+	// N counts evaluated test samples; Missing counts test samples the
+	// predictor declined (no estimate possible).
+	N       int
+	Missing int
+}
+
+// Compute evaluates a predictor on held-out test samples. Samples with
+// non-positive ground truth are skipped for the relative metrics (the QoS
+// generator never produces them, but arbitrary data might).
+func Compute(pred PredictFunc, test []stream.Sample) Metrics {
+	var m Metrics
+	absErrs := make([]float64, 0, len(test))
+	relErrs := make([]float64, 0, len(test))
+	for _, s := range test {
+		got, ok := pred(s.User, s.Service)
+		if !ok {
+			m.Missing++
+			continue
+		}
+		abs := math.Abs(got - s.Value)
+		absErrs = append(absErrs, abs)
+		if s.Value > 0 {
+			relErrs = append(relErrs, abs/s.Value)
+		}
+	}
+	m.N = len(absErrs)
+	if m.N == 0 {
+		return m
+	}
+	m.MAE = stats.Mean(absErrs)
+	sort.Float64s(relErrs)
+	m.MRE = stats.PercentileSorted(relErrs, 50)
+	m.NPRE = stats.PercentileSorted(relErrs, 90)
+	return m
+}
+
+// SignedErrors returns the signed prediction errors R̂−R on the test set,
+// the raw material of the paper's Fig. 10 error-distribution plot.
+func SignedErrors(pred PredictFunc, test []stream.Sample) []float64 {
+	out := make([]float64, 0, len(test))
+	for _, s := range test {
+		if got, ok := pred(s.User, s.Service); ok {
+			out = append(out, got-s.Value)
+		}
+	}
+	return out
+}
+
+// Average returns the element-wise mean of several metric sets (the paper
+// averages 20 rounds per configuration). Missing and N are summed.
+func Average(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.MAE += m.MAE
+		out.MRE += m.MRE
+		out.NPRE += m.NPRE
+		out.N += m.N
+		out.Missing += m.Missing
+	}
+	k := float64(len(ms))
+	out.MAE /= k
+	out.MRE /= k
+	out.NPRE /= k
+	return out
+}
+
+// Improvement returns the paper's improvement row: how much (fractionally)
+// `ours` beats the best competitor on each metric. Positive means better
+// (smaller error); the paper reports this as a percentage.
+func Improvement(ours Metrics, competitors []Metrics) (mae, mre, npre float64) {
+	best := func(sel func(Metrics) float64) float64 {
+		b := math.Inf(1)
+		for _, c := range competitors {
+			if v := sel(c); v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	frac := func(our, best float64) float64 {
+		if best == 0 {
+			return 0
+		}
+		return (best - our) / best
+	}
+	return frac(ours.MAE, best(func(m Metrics) float64 { return m.MAE })),
+		frac(ours.MRE, best(func(m Metrics) float64 { return m.MRE })),
+		frac(ours.NPRE, best(func(m Metrics) float64 { return m.NPRE }))
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MAE=%.3f MRE=%.3f NPRE=%.3f (n=%d, missing=%d)", m.MAE, m.MRE, m.NPRE, m.N, m.Missing)
+}

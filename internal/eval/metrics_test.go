@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func constPred(v float64) PredictFunc {
+	return func(int, int) (float64, bool) { return v, true }
+}
+
+func TestComputeExactValues(t *testing.T) {
+	test := []stream.Sample{
+		{User: 0, Service: 0, Value: 1}, // pred 2: abs 1, rel 1.0
+		{User: 0, Service: 1, Value: 2}, // pred 2: abs 0, rel 0.0
+		{User: 0, Service: 2, Value: 4}, // pred 2: abs 2, rel 0.5
+	}
+	m := Compute(constPred(2), test)
+	if m.N != 3 || m.Missing != 0 {
+		t.Fatalf("N=%d missing=%d", m.N, m.Missing)
+	}
+	if m.MAE != 1 {
+		t.Fatalf("MAE = %g, want 1", m.MAE)
+	}
+	if m.MRE != 0.5 {
+		t.Fatalf("MRE = %g, want 0.5", m.MRE)
+	}
+	// NPRE = p90 of [0, 0.5, 1.0] = 0.9 by linear interpolation.
+	if math.Abs(m.NPRE-0.9) > 1e-12 {
+		t.Fatalf("NPRE = %g, want 0.9", m.NPRE)
+	}
+}
+
+func TestComputeMissingPredictions(t *testing.T) {
+	pred := func(u, s int) (float64, bool) {
+		return 1, s != 1
+	}
+	test := []stream.Sample{
+		{Service: 0, Value: 1},
+		{Service: 1, Value: 1},
+		{Service: 2, Value: 1},
+	}
+	m := Compute(pred, test)
+	if m.N != 2 || m.Missing != 1 {
+		t.Fatalf("N=%d missing=%d, want 2/1", m.N, m.Missing)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	m := Compute(constPred(1), nil)
+	if m.N != 0 || m.MAE != 0 || m.MRE != 0 || m.NPRE != 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+}
+
+func TestComputeSkipsNonPositiveTruthForRelative(t *testing.T) {
+	test := []stream.Sample{
+		{Value: 0}, // contributes to MAE only
+		{Value: 2}, // abs 0
+	}
+	m := Compute(constPred(2), test)
+	if m.N != 2 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.MAE != 1 {
+		t.Fatalf("MAE = %g, want 1", m.MAE)
+	}
+	if m.MRE != 0 {
+		t.Fatalf("MRE = %g, want 0 (only the positive-truth sample counts)", m.MRE)
+	}
+}
+
+func TestSignedErrors(t *testing.T) {
+	test := []stream.Sample{{Value: 1}, {Value: 3}}
+	errs := SignedErrors(constPred(2), test)
+	if len(errs) != 2 || errs[0] != 1 || errs[1] != -1 {
+		t.Fatalf("signed errors = %v", errs)
+	}
+	none := func(int, int) (float64, bool) { return 0, false }
+	if got := SignedErrors(none, test); len(got) != 0 {
+		t.Fatalf("no-prediction errors = %v", got)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	avg := Average([]Metrics{
+		{MAE: 1, MRE: 0.2, NPRE: 2, N: 10, Missing: 1},
+		{MAE: 3, MRE: 0.4, NPRE: 4, N: 20, Missing: 2},
+	})
+	if avg.MAE != 2 || math.Abs(avg.MRE-0.3) > 1e-12 || avg.NPRE != 3 {
+		t.Fatalf("average = %+v", avg)
+	}
+	if avg.N != 30 || avg.Missing != 3 {
+		t.Fatalf("counts should sum: %+v", avg)
+	}
+	if z := Average(nil); z.N != 0 {
+		t.Fatalf("empty average = %+v", z)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	ours := Metrics{MAE: 1, MRE: 0.3, NPRE: 1}
+	comp := []Metrics{
+		{MAE: 2, MRE: 0.6, NPRE: 4},
+		{MAE: 1.5, MRE: 0.5, NPRE: 2},
+	}
+	mae, mre, npre := Improvement(ours, comp)
+	// Best competitor: MAE 1.5, MRE 0.5, NPRE 2.
+	if math.Abs(mae-(0.5/1.5)) > 1e-12 {
+		t.Fatalf("mae improvement = %g", mae)
+	}
+	if math.Abs(mre-0.4) > 1e-12 {
+		t.Fatalf("mre improvement = %g", mre)
+	}
+	if math.Abs(npre-0.5) > 1e-12 {
+		t.Fatalf("npre improvement = %g", npre)
+	}
+}
+
+func TestImprovementNegativeWhenWorse(t *testing.T) {
+	ours := Metrics{MAE: 2, MRE: 1, NPRE: 1}
+	comp := []Metrics{{MAE: 1, MRE: 0.5, NPRE: 0.5}}
+	mae, _, _ := Improvement(ours, comp)
+	if mae >= 0 {
+		t.Fatalf("worse result should give negative improvement, got %g", mae)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{MAE: 1, MRE: 0.5, NPRE: 2, N: 3}.String()
+	if s == "" {
+		t.Fatal("String should render")
+	}
+}

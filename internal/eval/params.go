@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// ParamSweepOptions configures the one-at-a-time hyperparameter sweeps of
+// the paper's "impact of parameters" analysis (detailed in its
+// supplementary report): rank d, regularization λ, learning rate η, and
+// EMA factor β, each varied with the others held at the paper's values.
+type ParamSweepOptions struct {
+	Dataset dataset.Config
+	Attr    dataset.Attribute
+	Density float64
+	Rounds  int
+	Slice   int
+	Seed    int64
+
+	Ranks      []int
+	Regs       []float64
+	LearnRates []float64
+	Betas      []float64
+}
+
+func (o ParamSweepOptions) withDefaults() ParamSweepOptions {
+	if o.Density == 0 {
+		o.Density = 0.30
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	if len(o.Ranks) == 0 {
+		o.Ranks = []int{2, 5, 10, 20, 40}
+	}
+	if len(o.Regs) == 0 {
+		o.Regs = []float64{0, 0.0001, 0.001, 0.01, 0.1}
+	}
+	if len(o.LearnRates) == 0 {
+		o.LearnRates = []float64{0.1, 0.2, 0.4, 0.8, 1.6}
+	}
+	if len(o.Betas) == 0 {
+		o.Betas = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	return o
+}
+
+// ParamPoint is one sweep measurement.
+type ParamPoint struct {
+	Param   string
+	Value   float64
+	Metrics Metrics
+}
+
+// ParamSweepResult groups sweep points by parameter name.
+type ParamSweepResult struct {
+	Attr   dataset.Attribute
+	Points []ParamPoint
+}
+
+// RunParamSweep evaluates AMF's accuracy as each hyperparameter varies.
+func RunParamSweep(opts ParamSweepOptions) (*ParamSweepResult, error) {
+	opts = opts.withDefaults()
+	gen, err := dataset.New(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParamSweepResult{Attr: opts.Attr}
+
+	evalOverride := func(name string, value float64, ov AMFOverrides) error {
+		var ms []Metrics
+		for round := 0; round < opts.Rounds; round++ {
+			seed := opts.Seed + int64(round)*7919
+			sp, err := stream.SliceSplit(gen, opts.Attr, opts.Slice, opts.Density, seed)
+			if err != nil {
+				return err
+			}
+			ctx := NewTrainContext(opts.Attr, opts.Dataset.Users, opts.Dataset.Services, sp, seed)
+			pred, err := AMFApproach("AMF", ov).Train(ctx)
+			if err != nil {
+				return fmt.Errorf("eval: sweep %s=%g: %w", name, value, err)
+			}
+			ms = append(ms, Compute(pred, sp.Test))
+		}
+		res.Points = append(res.Points, ParamPoint{Param: name, Value: value, Metrics: Average(ms)})
+		return nil
+	}
+
+	for _, d := range opts.Ranks {
+		d := d
+		if err := evalOverride("rank", float64(d), AMFOverrides{Rank: &d}); err != nil {
+			return nil, err
+		}
+	}
+	for _, reg := range opts.Regs {
+		reg := reg
+		if err := evalOverride("lambda", reg, AMFOverrides{Reg: &reg}); err != nil {
+			return nil, err
+		}
+	}
+	for _, eta := range opts.LearnRates {
+		eta := eta
+		if err := evalOverride("eta", eta, AMFOverrides{LearnRate: &eta}); err != nil {
+			return nil, err
+		}
+	}
+	for _, beta := range opts.Betas {
+		beta := beta
+		if err := evalOverride("beta", beta, AMFOverrides{Beta: &beta}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ByParam returns the points for one parameter, in sweep order.
+func (r *ParamSweepResult) ByParam(name string) []ParamPoint {
+	var out []ParamPoint
+	for _, p := range r.Points {
+		if p.Param == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the sweeps as per-parameter MRE tables.
+func (r *ParamSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s parameter sweeps (MRE per value)\n", r.Attr)
+	for _, name := range []string{"rank", "lambda", "eta", "beta"} {
+		pts := r.ByParam(name)
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s", name)
+		for _, p := range pts {
+			fmt.Fprintf(&b, " %8g", p.Value)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "%-8s", "MRE")
+		for _, p := range pts {
+			fmt.Fprintf(&b, " %8.3f", p.Metrics.MRE)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

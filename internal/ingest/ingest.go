@@ -1,0 +1,202 @@
+// Package ingest implements the stream-input side of the paper's QoS
+// prediction service (Fig. 3, "Input Handling: the observed QoS data are
+// collected and processed as formatted stream data"): a line-oriented TCP
+// listener that execution middlewares write observations to, far cheaper
+// per sample than HTTP for high-frequency monitoring feeds.
+//
+// Wire format, one observation per line:
+//
+//	<user> <service> <value> [timestampMs]
+//
+// e.g. "app-7 ws-weather 1.42 1718000000000". Responses are not sent per
+// line; a client can send "PING\n" and read "PONG\n" to checkpoint.
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink receives parsed observations; the prediction server implements it.
+type Sink interface {
+	// Ingest handles one observation. name-based, as on the wire.
+	Ingest(user, service string, value float64, timestampMs int64) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(user, service string, value float64, timestampMs int64) error
+
+// Ingest implements Sink.
+func (f SinkFunc) Ingest(user, service string, value float64, timestampMs int64) error {
+	return f(user, service, value, timestampMs)
+}
+
+// Listener accepts TCP connections and feeds their observation lines to a
+// Sink. Construct with Listen, stop with Close or by cancelling the
+// context passed to Serve.
+type Listener struct {
+	ln   net.Listener
+	sink Sink
+
+	// MaxLineBytes bounds a single line (default 4096).
+	MaxLineBytes int
+	// IdleTimeout disconnects silent clients (default 5 minutes).
+	IdleTimeout time.Duration
+
+	accepted atomic.Int64
+	lines    atomic.Int64
+	rejected atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Listen binds a TCP address ("127.0.0.1:0" picks a free port).
+func Listen(addr string, sink Sink) (*Listener, error) {
+	if sink == nil {
+		return nil, errors.New("ingest: nil sink")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen: %w", err)
+	}
+	return &Listener{
+		ln:           ln,
+		sink:         sink,
+		MaxLineBytes: 4096,
+		IdleTimeout:  5 * time.Minute,
+		conns:        make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Stats returns (connections accepted, lines ingested, lines rejected).
+func (l *Listener) Stats() (accepted, lines, rejected int64) {
+	return l.accepted.Load(), l.lines.Load(), l.rejected.Load()
+}
+
+// Serve accepts connections until ctx is cancelled or the listener is
+// closed. Each connection is handled on its own goroutine; Serve returns
+// after the accept loop stops (it does not wait for in-flight
+// connections, which are closed by Close/ctx).
+func (l *Listener) Serve(ctx context.Context) error {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.ln.Close()
+			l.closeConns()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("ingest: accept: %w", err)
+		}
+		l.accepted.Add(1)
+		l.track(conn, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer l.track(conn, false)
+			defer conn.Close()
+			l.handle(conn)
+		}()
+	}
+}
+
+func (l *Listener) track(c net.Conn, add bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if add {
+		l.conns[c] = struct{}{}
+	} else {
+		delete(l.conns, c)
+	}
+}
+
+func (l *Listener) closeConns() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for c := range l.conns {
+		c.Close()
+	}
+}
+
+// Close stops accepting and disconnects all clients.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	l.closeConns()
+	return err
+}
+
+func (l *Listener) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1024), l.MaxLineBytes)
+	for {
+		if l.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(l.IdleTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "PING":
+			if _, err := fmt.Fprintln(conn, "PONG"); err != nil {
+				return
+			}
+			continue
+		}
+		if err := l.ingestLine(line); err != nil {
+			l.rejected.Add(1)
+			continue
+		}
+		l.lines.Add(1)
+	}
+}
+
+// ingestLine parses "<user> <service> <value> [timestampMs]".
+func (l *Listener) ingestLine(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 && len(fields) != 4 {
+		return fmt.Errorf("ingest: want 3 or 4 fields, got %d", len(fields))
+	}
+	value, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return fmt.Errorf("ingest: bad value: %w", err)
+	}
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("ingest: invalid QoS value %q", fields[2])
+	}
+	var ts int64
+	if len(fields) == 4 {
+		ts, err = strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || ts < 0 {
+			return fmt.Errorf("ingest: bad timestamp %q", fields[3])
+		}
+	}
+	return l.sink.Ingest(fields[0], fields[1], value, ts)
+}

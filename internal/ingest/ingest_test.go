@@ -1,0 +1,239 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingSink captures ingested observations.
+type recordingSink struct {
+	mu  sync.Mutex
+	got []string
+	err error
+}
+
+func (r *recordingSink) Ingest(user, service string, value float64, ts int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	r.got = append(r.got, fmt.Sprintf("%s|%s|%g|%d", user, service, value, ts))
+	return nil
+}
+
+func (r *recordingSink) lines() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.got))
+	copy(out, r.got)
+	return out
+}
+
+// startListener spins up a listener on a free port and returns it with a
+// cancel function.
+func startListener(t *testing.T, sink Sink) (*Listener, context.CancelFunc) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := l.Serve(ctx); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Error("listener did not stop")
+		}
+	})
+	return l, cancel
+}
+
+func TestListenRejectsNilSink(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil sink should error")
+	}
+}
+
+func TestStreamIngestEndToEnd(t *testing.T) {
+	sink := &recordingSink{}
+	l, _ := startListener(t, sink)
+
+	w, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Send("app-1", "ws-a", 1.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send("app-2", "ws-b", 0.25, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.lines()
+	if len(got) != 2 {
+		t.Fatalf("sink got %v", got)
+	}
+	if got[0] != "app-1|ws-a|1.5|0" || got[1] != "app-2|ws-b|0.25|1234" {
+		t.Fatalf("sink got %v", got)
+	}
+	accepted, lines, rejected := l.Stats()
+	if accepted != 1 || lines != 2 || rejected != 0 {
+		t.Fatalf("stats = %d/%d/%d", accepted, lines, rejected)
+	}
+}
+
+func TestStreamIngestRejectsMalformedLines(t *testing.T) {
+	sink := &recordingSink{}
+	l, _ := startListener(t, sink)
+	w, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Raw writes bypass the Writer's validation.
+	for _, raw := range []string{
+		"only two\n",
+		"a b notanumber\n",
+		"a b -1\n",
+		"a b NaN\n",
+		"a b 1 notatimestamp\n",
+		"a b 1 -5\n",
+		"a b 1 2 3\n",
+	} {
+		if _, err := w.bw.WriteString(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Send("ok", "fine", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.lines(); len(got) != 1 || got[0] != "ok|fine|2|0" {
+		t.Fatalf("sink got %v", got)
+	}
+	_, lines, rejected := l.Stats()
+	if lines != 1 || rejected != 7 {
+		t.Fatalf("lines=%d rejected=%d", lines, rejected)
+	}
+}
+
+func TestStreamIngestSinkErrorsCountAsRejected(t *testing.T) {
+	sink := &recordingSink{err: errors.New("downstream full")}
+	l, _ := startListener(t, sink)
+	w, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Send("u", "s", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, lines, rejected := l.Stats(); lines != 0 || rejected != 1 {
+		t.Fatalf("lines=%d rejected=%d", lines, rejected)
+	}
+}
+
+func TestStreamIngestManyConcurrentWriters(t *testing.T) {
+	sink := &recordingSink{}
+	l, _ := startListener(t, sink)
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := Dial(l.Addr().String(), time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer w.Close()
+			for j := 0; j < per; j++ {
+				if err := w.Send(fmt.Sprintf("u%d", i), fmt.Sprintf("s%d", j), 1, 0); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+			if err := w.Ping(5 * time.Second); err != nil {
+				t.Errorf("ping: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(sink.lines()); got != writers*per {
+		t.Fatalf("sink got %d lines, want %d", got, writers*per)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	sink := &recordingSink{}
+	l, _ := startListener(t, sink)
+	w, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Send("has space", "svc", 1, 0); err == nil {
+		t.Error("whitespace in user should error")
+	}
+	if err := w.Send("u", "has\ttab", 1, 0); err == nil {
+		t.Error("whitespace in service should error")
+	}
+	if err := w.Send("", "svc", 1, 0); err == nil {
+		t.Error("empty user should error")
+	}
+}
+
+func TestListenerCloseStopsServe(t *testing.T) {
+	sink := &recordingSink{}
+	l, err := Listen("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Serve(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not stop after Close")
+	}
+}
+
+func TestSinkFuncAdapter(t *testing.T) {
+	called := false
+	f := SinkFunc(func(u, s string, v float64, ts int64) error {
+		called = true
+		return nil
+	})
+	if err := f.Ingest("a", "b", 1, 2); err != nil || !called {
+		t.Fatal("adapter")
+	}
+}

@@ -1,0 +1,100 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Writer is the client side of the stream-ingest protocol: a buffered
+// line writer an execution middleware uses to push its QoS observations.
+// Not safe for concurrent use; give each goroutine its own Writer.
+type Writer struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// Dial connects to an ingest listener.
+func Dial(addr string, timeout time.Duration) (*Writer, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial: %w", err)
+	}
+	return NewWriter(conn), nil
+}
+
+// NewWriter wraps an existing connection (useful with net.Pipe in tests).
+func NewWriter(conn net.Conn) *Writer {
+	return &Writer{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}
+}
+
+// Send buffers one observation line. timestampMs <= 0 omits the field
+// (the server stamps on arrival).
+func (w *Writer) Send(user, service string, value float64, timestampMs int64) error {
+	if strings.ContainsAny(user, " \t\n") || strings.ContainsAny(service, " \t\n") {
+		return fmt.Errorf("ingest: names must not contain whitespace: %q %q", user, service)
+	}
+	if user == "" || service == "" {
+		return fmt.Errorf("ingest: user and service are required")
+	}
+	w.bw.WriteString(user)
+	w.bw.WriteByte(' ')
+	w.bw.WriteString(service)
+	w.bw.WriteByte(' ')
+	w.bw.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	if timestampMs > 0 {
+		w.bw.WriteByte(' ')
+		w.bw.WriteString(strconv.FormatInt(timestampMs, 10))
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush pushes buffered lines to the socket.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("ingest: flush: %w", err)
+	}
+	return nil
+}
+
+// Ping flushes and round-trips a PING/PONG, confirming the server has
+// consumed everything sent before it.
+func (w *Writer) Ping(timeout time.Duration) error {
+	if _, err := w.bw.WriteString("PING\n"); err != nil {
+		return fmt.Errorf("ingest: ping: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if timeout > 0 {
+		if err := w.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("ingest: ping deadline: %w", err)
+		}
+	}
+	line, err := w.br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("ingest: ping read: %w", err)
+	}
+	if strings.TrimSpace(line) != "PONG" {
+		return fmt.Errorf("ingest: unexpected ping reply %q", line)
+	}
+	return nil
+}
+
+// Close flushes and closes the connection.
+func (w *Writer) Close() error {
+	flushErr := w.Flush()
+	closeErr := w.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

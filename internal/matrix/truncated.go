@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TruncatedOptions tunes TopSingularValues.
+type TruncatedOptions struct {
+	// MaxIters bounds the power iterations per singular value. Zero
+	// means 300.
+	MaxIters int
+	// Tol is the relative change threshold declaring a singular value
+	// converged. Zero means 1e-10.
+	Tol float64
+	// Seed fixes the random start vectors.
+	Seed int64
+}
+
+func (o TruncatedOptions) withDefaults() TruncatedOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 300
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	return o
+}
+
+// TopSingularValues computes the k largest singular values of m by power
+// iteration with deflation on the smaller Gram matrix: O(k·iters·n²)
+// instead of the full Jacobi sweep's O(n³·sweeps), which pays off once
+// the smaller matrix dimension reaches the high hundreds (for the paper's
+// 142-user matrices the full sweep is still cheap — BenchmarkTruncatedSVD
+// compares the two). Results agree with SingularValues to ~1e-6.
+func TopSingularValues(m *Dense, k int, opts TruncatedOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	if k <= 0 {
+		return nil, fmt.Errorf("matrix: k must be positive, got %d", k)
+	}
+	g := Gram(m, m.Cols() < m.Rows())
+	n := g.Rows()
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	// Deflated vectors whose image under g falls below this are in the
+	// numerically-zero part of the spectrum: without the floor, power
+	// iteration on rounding noise can wander back toward the dominant
+	// eigenvectors faster than one Gram-Schmidt pass removes them.
+	zeroFloor := 1e-12 * g.FrobeniusNorm()
+
+	out := make([]float64, 0, k)
+	vectors := make([][]float64, 0, k)
+	v := make([]float64, n)
+	next := make([]float64, n)
+	for comp := 0; comp < k; comp++ {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		orthogonalize(v, vectors)
+		if norm := Norm2(v); norm > 0 {
+			scaleVec(v, 1/norm)
+		}
+		var eig, prev float64
+		for iter := 0; iter < opts.MaxIters; iter++ {
+			mulSym(g, v, next)
+			// Two Gram-Schmidt passes: the second removes the residue the
+			// first leaves behind when the projections nearly cancel the
+			// whole vector.
+			orthogonalize(next, vectors)
+			orthogonalize(next, vectors)
+			norm := Norm2(next)
+			if norm <= zeroFloor {
+				// The remaining spectrum is (numerically) zero.
+				eig = 0
+				break
+			}
+			scaleVec(next, 1/norm)
+			copy(v, next)
+			eig = rayleigh(g, v, next)
+			if prev != 0 && math.Abs(eig-prev) <= opts.Tol*math.Abs(prev) {
+				break
+			}
+			prev = eig
+		}
+		if eig < 0 {
+			eig = 0
+		}
+		out = append(out, math.Sqrt(eig))
+		kept := make([]float64, n)
+		copy(kept, v)
+		vectors = append(vectors, kept)
+	}
+	// Deflation can reorder near-degenerate values; enforce descending.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// mulSym computes dst = g·v for a square matrix g.
+func mulSym(g *Dense, v, dst []float64) {
+	n := g.Rows()
+	data := g.Data()
+	for i := 0; i < n; i++ {
+		row := data[i*n : (i+1)*n]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// rayleigh computes vᵀ·g·v (v must be unit norm); scratch receives g·v.
+func rayleigh(g *Dense, v, scratch []float64) float64 {
+	mulSym(g, v, scratch)
+	return Dot(v, scratch)
+}
+
+// orthogonalize removes the components of v along each (unit) basis
+// vector (modified Gram-Schmidt, one pass).
+func orthogonalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		proj := Dot(v, b)
+		for i := range v {
+			v[i] -= proj * b[i]
+		}
+	}
+}
+
+func scaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopSingularValuesMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewDense(20, 35)
+	m.Apply(func(float64) float64 { return rng.NormFloat64() })
+
+	full, err := SingularValues(m, JacobiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopSingularValues(m, 8, TruncatedOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 8 {
+		t.Fatalf("got %d values", len(top))
+	}
+	for i := range top {
+		if math.Abs(top[i]-full[i]) > 1e-6*(1+full[i]) {
+			t.Fatalf("sv[%d]: truncated %.10f vs jacobi %.10f", i, top[i], full[i])
+		}
+	}
+}
+
+func TestTopSingularValuesLowRankTailIsZero(t *testing.T) {
+	// Rank-2 matrix: values beyond the second must be ~0.
+	rng := rand.New(rand.NewSource(3))
+	n, m := 15, 25
+	a := NewDense(n, m)
+	u1, u2 := make([]float64, n), make([]float64, n)
+	v1, v2 := make([]float64, m), make([]float64, m)
+	for i := range u1 {
+		u1[i], u2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	for j := range v1 {
+		v1[j], v2[j] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, u1[i]*v1[j]+u2[i]*v2[j])
+		}
+	}
+	sv, err := TopSingularValues(a, 5, TruncatedOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv[0] <= 0 || sv[1] <= 0 {
+		t.Fatalf("leading values should be positive: %v", sv)
+	}
+	for i := 2; i < len(sv); i++ {
+		if sv[i] > 1e-5*sv[0] {
+			t.Fatalf("sv[%d] = %g should be ~0 for rank-2 input", i, sv[i])
+		}
+	}
+}
+
+func TestTopSingularValuesValidation(t *testing.T) {
+	m := NewDense(3, 3)
+	if _, err := TopSingularValues(m, 0, TruncatedOptions{}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	// k larger than the dimension clamps rather than failing.
+	sv, err := TopSingularValues(m, 10, TruncatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv) != 3 {
+		t.Fatalf("clamped length = %d, want 3", len(sv))
+	}
+}
+
+func TestTopSingularValuesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewDense(12, 18)
+	m.Apply(func(float64) float64 { return rng.NormFloat64() })
+	sv, err := TopSingularValues(m, 6, TruncatedOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sv); i++ {
+		if sv[i] > sv[i-1]+1e-9 {
+			t.Fatalf("not descending: %v", sv)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package qosdb_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/qoslab/amf/internal/qosdb"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// The QoS database of the paper's framework (Fig. 3): observations are
+// appended as they arrive; the latest value per pair, per-pair history,
+// and time windows are queryable; old data can be compacted away, the
+// durable analogue of the model's 15-minute expiration.
+func ExampleStore() {
+	db, err := qosdb.Open("") // memory-only; pass a path for a WAL
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer db.Close()
+
+	db.Append(stream.Sample{Time: 1 * time.Minute, User: 0, Service: 3, Value: 1.4})
+	db.Append(stream.Sample{Time: 16 * time.Minute, User: 0, Service: 3, Value: 0.9})
+	db.Append(stream.Sample{Time: 17 * time.Minute, User: 1, Service: 3, Value: 2.2})
+
+	latest, _ := db.Latest(0, 3)
+	fmt.Printf("latest(0,3) = %.1f\n", latest.Value)
+	fmt.Printf("history(0,3) has %d samples\n", len(db.History(0, 3, -1)))
+
+	// Expire everything older than 15 minutes.
+	db.Compact(15 * time.Minute)
+	fmt.Printf("after compact: %d samples\n", db.Len())
+	// Output:
+	// latest(0,3) = 0.9
+	// history(0,3) has 2 samples
+	// after compact: 2 samples
+}

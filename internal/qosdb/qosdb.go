@@ -1,0 +1,295 @@
+// Package qosdb implements the QoS database of the paper's prediction
+// service (Fig. 3): an append-only store of QoS observations with a
+// per-pair latest index, time-window queries, and an optional plain-text
+// write-ahead log so a restarted service can replay its history into a
+// fresh model.
+package qosdb
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Store is a concurrency-safe observation database. The zero value is not
+// usable; construct with Open.
+type Store struct {
+	mu     sync.RWMutex
+	log    []stream.Sample
+	latest map[[2]int]int // (user, service) -> index of newest sample
+	byUser map[int][]int  // user -> indices in arrival order
+
+	path string
+	wal  *os.File
+	bw   *bufio.Writer
+}
+
+// Open creates a store. With a non-empty path, existing WAL contents are
+// replayed into memory and subsequent appends are logged to the file.
+// An empty path yields a memory-only store.
+func Open(path string) (*Store, error) {
+	s := &Store{
+		latest: make(map[[2]int]int),
+		byUser: make(map[int][]int),
+		path:   path,
+	}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("qosdb: open wal: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		sample, err := parseLine(text)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("qosdb: wal line %d: %w", line, err)
+		}
+		s.appendLocked(sample)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("qosdb: replay wal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("qosdb: seek wal: %w", err)
+	}
+	s.wal = f
+	s.bw = bufio.NewWriter(f)
+	return s, nil
+}
+
+// parseLine decodes "timeNs user service value".
+func parseLine(text string) (stream.Sample, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 4 {
+		return stream.Sample{}, fmt.Errorf("want 4 fields, got %d", len(fields))
+	}
+	ns, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return stream.Sample{}, fmt.Errorf("bad time: %w", err)
+	}
+	user, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return stream.Sample{}, fmt.Errorf("bad user: %w", err)
+	}
+	service, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return stream.Sample{}, fmt.Errorf("bad service: %w", err)
+	}
+	value, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return stream.Sample{}, fmt.Errorf("bad value: %w", err)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return stream.Sample{}, fmt.Errorf("non-finite value %q", fields[3])
+	}
+	return stream.Sample{Time: time.Duration(ns), User: user, Service: service, Value: value}, nil
+}
+
+func formatLine(s stream.Sample) string {
+	return fmt.Sprintf("%d %d %d %s\n",
+		int64(s.Time), s.User, s.Service, strconv.FormatFloat(s.Value, 'g', -1, 64))
+}
+
+// Append stores one observation and, if a WAL is attached, logs it.
+func (s *Store) Append(sample stream.Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw != nil {
+		if _, err := s.bw.WriteString(formatLine(sample)); err != nil {
+			return fmt.Errorf("qosdb: append wal: %w", err)
+		}
+	}
+	s.appendLocked(sample)
+	return nil
+}
+
+func (s *Store) appendLocked(sample stream.Sample) {
+	idx := len(s.log)
+	s.log = append(s.log, sample)
+	key := [2]int{sample.User, sample.Service}
+	if prev, ok := s.latest[key]; !ok || sample.Time >= s.log[prev].Time {
+		s.latest[key] = idx
+	}
+	s.byUser[sample.User] = append(s.byUser[sample.User], idx)
+}
+
+// Flush forces buffered WAL writes to the OS.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.bw == nil {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("qosdb: flush wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the WAL (no-op for memory-only stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	s.bw = nil
+	if err != nil {
+		return fmt.Errorf("qosdb: close wal: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of stored observations.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// Latest returns the newest observation of a (user, service) pair.
+func (s *Store) Latest(user, service int) (stream.Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.latest[[2]int{user, service}]
+	if !ok {
+		return stream.Sample{}, false
+	}
+	return s.log[idx], true
+}
+
+// History returns all observations of a pair in arrival order, optionally
+// restricted to samples at or after since (pass a negative duration for
+// everything).
+func (s *Store) History(user, service int, since time.Duration) []stream.Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []stream.Sample
+	for _, idx := range s.byUser[user] {
+		sample := s.log[idx]
+		if sample.Service == service && sample.Time >= since {
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// UserHistory returns all observations by a user in arrival order, at or
+// after since.
+func (s *Store) UserHistory(user int, since time.Duration) []stream.Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []stream.Sample
+	for _, idx := range s.byUser[user] {
+		if sample := s.log[idx]; sample.Time >= since {
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// Window returns every stored observation at or after since, in arrival
+// order. This is the replay feed a freshly restarted model consumes.
+func (s *Store) Window(since time.Duration) []stream.Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []stream.Sample
+	for _, sample := range s.log {
+		if sample.Time >= since {
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// Compact rewrites the store (and its WAL, if any) keeping only samples
+// at or after since — the durable analogue of the model's data expiration.
+func (s *Store) Compact(since time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := make([]stream.Sample, 0, len(s.log))
+	for _, sample := range s.log {
+		if sample.Time >= since {
+			kept = append(kept, sample)
+		}
+	}
+	s.log = s.log[:0]
+	s.latest = make(map[[2]int]int, len(kept))
+	s.byUser = make(map[int][]int)
+	for _, sample := range kept {
+		s.appendLocked(sample)
+	}
+	if s.wal == nil {
+		return nil
+	}
+	// Rewrite the WAL atomically: write a temp file, then rename over.
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("qosdb: compact: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, sample := range s.log {
+		if _, err := bw.WriteString(formatLine(sample)); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("qosdb: compact write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("qosdb: compact flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("qosdb: compact close: %w", err)
+	}
+	if err := s.flushLocked(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("qosdb: compact swap: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("qosdb: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qosdb: compact reopen: %w", err)
+	}
+	s.wal = nf
+	s.bw = bufio.NewWriter(nf)
+	return nil
+}

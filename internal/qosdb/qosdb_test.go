@@ -1,0 +1,246 @@
+package qosdb
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func sample(t time.Duration, u, s int, v float64) stream.Sample {
+	return stream.Sample{Time: t, User: u, Service: s, Value: v}
+}
+
+func TestMemoryStoreBasics(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Append(sample(1, 0, 0, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(sample(2, 0, 0, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(sample(3, 1, 0, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	latest, ok := db.Latest(0, 0)
+	if !ok || latest.Value != 2.5 {
+		t.Fatalf("latest = %+v, %v", latest, ok)
+	}
+	if _, ok := db.Latest(9, 9); ok {
+		t.Fatal("unknown pair should have no latest")
+	}
+}
+
+func TestHistoryAndWindow(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Append(sample(time.Duration(i)*time.Second, i%2, i%3, float64(i)))
+	}
+	h := db.History(0, 0, -1)
+	for _, s := range h {
+		if s.User != 0 || s.Service != 0 {
+			t.Fatalf("history leaked other pair: %+v", s)
+		}
+	}
+	uh := db.UserHistory(1, -1)
+	if len(uh) != 5 {
+		t.Fatalf("user history = %d, want 5", len(uh))
+	}
+	w := db.Window(7 * time.Second)
+	if len(w) != 3 {
+		t.Fatalf("window = %d, want 3", len(w))
+	}
+	for _, s := range w {
+		if s.Time < 7*time.Second {
+			t.Fatalf("window returned old sample %+v", s)
+		}
+	}
+}
+
+func TestHistorySinceFilter(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	db.Append(sample(1*time.Second, 0, 0, 1))
+	db.Append(sample(5*time.Second, 0, 0, 2))
+	h := db.History(0, 0, 3*time.Second)
+	if len(h) != 1 || h[0].Value != 2 {
+		t.Fatalf("filtered history = %+v", h)
+	}
+}
+
+func TestLatestIgnoresOutOfOrderOlderSample(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	db.Append(sample(10, 0, 0, 5))
+	db.Append(sample(2, 0, 0, 9)) // late-arriving old measurement
+	latest, _ := db.Latest(0, 0)
+	if latest.Value != 5 {
+		t.Fatalf("latest = %+v, want the newer sample", latest)
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Append(sample(time.Duration(i), i, i+1, float64(i)+0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Close()
+	if replayed.Len() != 5 {
+		t.Fatalf("replayed %d samples, want 5", replayed.Len())
+	}
+	latest, ok := replayed.Latest(3, 4)
+	if !ok || latest.Value != 3.25 {
+		t.Fatalf("replayed latest = %+v, %v", latest, ok)
+	}
+	// Appends after replay must extend, not truncate.
+	if err := replayed.Append(sample(99, 9, 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != 6 {
+		t.Fatalf("after reopen+append: %d samples, want 6", again.Len())
+	}
+}
+
+func TestWALRejectsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("1 2 3 4\nnot a line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt WAL should fail to open")
+	}
+	cases := []string{
+		"x 1 2 3", "1 x 2 3", "1 2 x 3", "1 2 3 x", "1 2 3",
+	}
+	for _, line := range cases {
+		if _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine(%q) should fail", line)
+		}
+	}
+}
+
+func TestWALSkipsBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blank.log")
+	if err := os.WriteFile(path, []byte("\n1 0 0 1.5\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != 1 {
+		t.Fatalf("len = %d, want 1", db.Len())
+	}
+}
+
+func TestCompactMemoryOnly(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Append(sample(time.Duration(i)*time.Minute, 0, i, float64(i)))
+	}
+	if err := db.Compact(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 5 {
+		t.Fatalf("compacted len = %d, want 5", db.Len())
+	}
+	if _, ok := db.Latest(0, 0); ok {
+		t.Fatal("expired pair should be gone after compact")
+	}
+	if _, ok := db.Latest(0, 9); !ok {
+		t.Fatal("recent pair should survive compact")
+	}
+}
+
+func TestCompactRewritesWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		db.Append(sample(time.Duration(i)*time.Minute, 0, i, float64(i)))
+	}
+	if err := db.Compact(8 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compact appends must land in the rewritten WAL.
+	db.Append(sample(20*time.Minute, 1, 1, 1))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Close()
+	if replayed.Len() != 3 { // samples at 8, 9, 20 minutes
+		t.Fatalf("replayed %d samples after compact, want 3", replayed.Len())
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	db, _ := Open("")
+	defer db.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Append(sample(time.Duration(i), w, i%5, float64(i)))
+				db.Latest(w, i%5)
+				db.Window(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Fatalf("len = %d, want 800", db.Len())
+	}
+}
+
+func TestCloseIdempotentForMemoryStore(t *testing.T) {
+	db, _ := Open("")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

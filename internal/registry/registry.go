@@ -1,0 +1,191 @@
+// Package registry implements the user manager and service manager of the
+// paper's QoS prediction service (framework Fig. 3): it tracks the joining
+// and leaving of named users and services and maps their external string
+// names to the dense integer IDs the prediction models use internally.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrUnknown is returned when a name or ID is not registered.
+var ErrUnknown = errors.New("registry: unknown entity")
+
+// Info describes one registered entity.
+type Info struct {
+	ID     int
+	Name   string
+	Joined time.Time
+	// Meta carries optional annotations (e.g. location, provider).
+	Meta map[string]string
+}
+
+// Registry is a concurrency-safe name⇄ID directory with churn support.
+// IDs are never reused, so a prediction model keyed by ID cannot confuse a
+// departed entity with a later arrival. The zero value is not usable;
+// construct with New.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Info
+	byID   map[int]*Info
+	nextID int
+	now    func() time.Time
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		byName: make(map[string]*Info),
+		byID:   make(map[int]*Info),
+		now:    time.Now,
+	}
+}
+
+// NewWithClock creates a registry with an injected clock, for tests and
+// simulations.
+func NewWithClock(now func() time.Time) *Registry {
+	r := New()
+	r.now = now
+	return r
+}
+
+// Register returns the ID for name, creating a new registration if the
+// name is unknown. created reports whether a new entity joined.
+func (r *Registry) Register(name string) (id int, created bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if info, ok := r.byName[name]; ok {
+		return info.ID, false
+	}
+	info := &Info{ID: r.nextID, Name: name, Joined: r.now()}
+	r.nextID++
+	r.byName[name] = info
+	r.byID[info.ID] = info
+	return info.ID, true
+}
+
+// Lookup returns the ID for a registered name.
+func (r *Registry) Lookup(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return info.ID, true
+}
+
+// Get returns a copy of the Info for an ID.
+func (r *Registry) Get(id int) (Info, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.byID[id]
+	if !ok {
+		return Info{}, false
+	}
+	return r.copyInfo(info), true
+}
+
+// GetByName returns a copy of the Info for a name.
+func (r *Registry) GetByName(name string) (Info, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.byName[name]
+	if !ok {
+		return Info{}, false
+	}
+	return r.copyInfo(info), true
+}
+
+func (r *Registry) copyInfo(info *Info) Info {
+	out := *info
+	if info.Meta != nil {
+		out.Meta = make(map[string]string, len(info.Meta))
+		for k, v := range info.Meta {
+			out.Meta[k] = v
+		}
+	}
+	return out
+}
+
+// SetMeta attaches a metadata key/value to a registered name.
+func (r *Registry) SetMeta(name, key, value string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info, ok := r.byName[name]
+	if !ok {
+		return ErrUnknown
+	}
+	if info.Meta == nil {
+		info.Meta = make(map[string]string)
+	}
+	info.Meta[key] = value
+	return nil
+}
+
+// Deregister removes a name (the entity leaves the environment). It
+// returns the departed ID so callers can purge model state.
+func (r *Registry) Deregister(name string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	delete(r.byName, name)
+	delete(r.byID, info.ID)
+	return info.ID, true
+}
+
+// Restore replaces the registry's contents with previously exported
+// Infos (see List), preserving IDs. The ID counter resumes after the
+// largest restored ID so later registrations cannot collide. It fails on
+// duplicate names or IDs, leaving the registry unchanged.
+func (r *Registry) Restore(infos []Info) error {
+	byName := make(map[string]*Info, len(infos))
+	byID := make(map[int]*Info, len(infos))
+	next := 0
+	for _, in := range infos {
+		if _, dup := byName[in.Name]; dup {
+			return fmt.Errorf("registry: duplicate name %q in restore", in.Name)
+		}
+		if _, dup := byID[in.ID]; dup {
+			return fmt.Errorf("registry: duplicate ID %d in restore", in.ID)
+		}
+		cp := r.copyInfo(&in)
+		byName[cp.Name] = &cp
+		byID[cp.ID] = &cp
+		if cp.ID >= next {
+			next = cp.ID + 1
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byName = byName
+	r.byID = byID
+	r.nextID = next
+	return nil
+}
+
+// Len returns the number of registered entities.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// List returns copies of all registrations, sorted by ID.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.byID))
+	for _, info := range r.byID {
+		out = append(out, r.copyInfo(info))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

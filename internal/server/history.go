@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/qoslab/amf/internal/qosdb"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// HistoryEntry is one stored observation, rendered with names.
+type HistoryEntry struct {
+	User     string  `json:"user"`
+	Service  string  `json:"service"`
+	Value    float64 `json:"value"`
+	OffsetMs int64   `json:"offsetMs"` // observation time, ms since service start
+}
+
+// SetStore attaches a QoS database (paper Fig. 3's "QoS Database"):
+// every accepted observation is appended to it, and the history endpoint
+// serves from it. Call before serving traffic. A nil store detaches.
+func (s *Server) SetStore(db *qosdb.Store) { s.store = db }
+
+// Store returns the attached QoS database, or nil.
+func (s *Server) Store() *qosdb.Store { return s.store }
+
+// ReplayStore feeds every stored observation at or after since back into
+// the model — how a restarted service rebuilds its replay pool from the
+// write-ahead log after LoadState restored the factors and registries.
+// It returns the number of samples replayed.
+func (s *Server) ReplayStore(since time.Duration) int {
+	if s.store == nil {
+		return 0
+	}
+	window := s.store.Window(since)
+	s.model.ObserveAll(window)
+	return len(window)
+}
+
+func (s *Server) historyRoutes() {
+	s.mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.countError(w, http.StatusNotImplemented, "no QoS database attached")
+		return
+	}
+	q := r.URL.Query()
+	user := q.Get("user")
+	if user == "" {
+		s.countError(w, http.StatusBadRequest, "user query parameter is required")
+		return
+	}
+	uid, ok := s.users.Lookup(user)
+	if !ok {
+		s.countError(w, http.StatusNotFound, "unknown user %q", user)
+		return
+	}
+	since := time.Duration(-1)
+	if raw := q.Get("sinceMs"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			s.countError(w, http.StatusBadRequest, "bad sinceMs %q", raw)
+			return
+		}
+		since = time.Duration(ms) * time.Millisecond
+	}
+
+	var samples []stream.Sample
+	if service := q.Get("service"); service != "" {
+		sid, ok := s.services.Lookup(service)
+		if !ok {
+			s.countError(w, http.StatusNotFound, "unknown service %q", service)
+			return
+		}
+		samples = s.store.History(uid, sid, since)
+	} else {
+		samples = s.store.UserHistory(uid, since)
+	}
+
+	out := make([]HistoryEntry, 0, len(samples))
+	for _, sm := range samples {
+		svcName := strconv.Itoa(sm.Service)
+		if info, ok := s.services.Get(sm.Service); ok {
+			svcName = info.Name
+		}
+		out = append(out, HistoryEntry{
+			User:     user,
+			Service:  svcName,
+			Value:    sm.Value,
+			OffsetMs: sm.Time.Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

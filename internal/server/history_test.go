@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/qosdb"
+)
+
+func storedServer(t *testing.T) (*Server, *qosdb.Store) {
+	t.Helper()
+	s := testServer(t)
+	db, err := qosdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s.SetStore(db)
+	return s, db
+}
+
+func TestHistoryWithoutStore(t *testing.T) {
+	s := testServer(t)
+	w := doReq(t, s, http.MethodGet, "/api/v1/history?user=u1", nil)
+	if w.Code != http.StatusNotImplemented {
+		t.Fatalf("no-store history status %d", w.Code)
+	}
+}
+
+func TestObserveAppendsToStore(t *testing.T) {
+	s, db := storedServer(t)
+	observeSome(t, s)
+	if db.Len() != 20 {
+		t.Fatalf("store has %d observations, want 20", db.Len())
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	s, _ := storedServer(t)
+	observeSome(t, s)
+
+	w := doReq(t, s, http.MethodGet, "/api/v1/history?user=u1", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("history status %d: %s", w.Code, w.Body.String())
+	}
+	var entries []HistoryEntry
+	if err := json.Unmarshal(w.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 { // u1 invoked s0..s4 once each
+		t.Fatalf("user history = %d entries, want 5", len(entries))
+	}
+	for _, e := range entries {
+		if e.User != "u1" || e.Service == "" {
+			t.Fatalf("bad entry %+v", e)
+		}
+	}
+
+	// Pair-restricted history.
+	w = doReq(t, s, http.MethodGet, "/api/v1/history?user=u1&service=s2", nil)
+	entries = nil
+	if err := json.Unmarshal(w.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Service != "s2" {
+		t.Fatalf("pair history = %+v", entries)
+	}
+}
+
+func TestHistoryValidation(t *testing.T) {
+	s, _ := storedServer(t)
+	observeSome(t, s)
+	cases := map[string]struct {
+		path string
+		code int
+	}{
+		"missing user":    {"/api/v1/history", http.StatusBadRequest},
+		"unknown user":    {"/api/v1/history?user=ghost", http.StatusNotFound},
+		"unknown service": {"/api/v1/history?user=u1&service=ghost", http.StatusNotFound},
+		"bad sinceMs":     {"/api/v1/history?user=u1&sinceMs=abc", http.StatusBadRequest},
+	}
+	for name, c := range cases {
+		if w := doReq(t, s, http.MethodGet, c.path, nil); w.Code != c.code {
+			t.Errorf("%s: status %d, want %d", name, w.Code, c.code)
+		}
+	}
+}
+
+func TestHistorySinceFilterHTTP(t *testing.T) {
+	s, _ := storedServer(t)
+	observeSome(t, s)
+	// All test observations land at offset ~0; a far-future since must
+	// return an empty list.
+	w := doReq(t, s, http.MethodGet, "/api/v1/history?user=u1&sinceMs=9999999", nil)
+	var entries []HistoryEntry
+	if err := json.Unmarshal(w.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("future-since history = %+v", entries)
+	}
+}
+
+// The full restart story: state snapshot restores factors and registries,
+// the WAL replay rebuilds the replay pool.
+func TestRestartWithStateAndWAL(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "qos.wal")
+	db1, err := qosdb.Open(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := testServer(t)
+	s1.SetStore(db1)
+	observeSome(t, s1)
+	state, err := s1.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh server, restore state, reopen WAL, replay.
+	db2, err := qosdb.Open(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	s2 := New(core.MustNew(cfg))
+	if err := s2.LoadState(state); err != nil {
+		t.Fatal(err)
+	}
+	s2.SetStore(db2)
+	if n := s2.ReplayStore(-1); n != 20 {
+		t.Fatalf("replayed %d observations, want 20", n)
+	}
+	// The restarted service can keep learning from its pool.
+	if got := s2.model.ReplaySteps(50); got != 50 {
+		t.Fatalf("post-restart replay steps = %d", got)
+	}
+	if w := doReq(t, s2, http.MethodGet, "/api/v1/predict?user=u1&service=s1", nil); w.Code != http.StatusOK {
+		t.Fatalf("post-restart predict: %d", w.Code)
+	}
+}
+
+func TestReplayStoreWithoutStore(t *testing.T) {
+	s := testServer(t)
+	if n := s.ReplayStore(-1); n != 0 {
+		t.Fatalf("replay without store = %d", n)
+	}
+	if s.Store() != nil {
+		t.Fatal("store should be nil")
+	}
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Ingest implements ingest.Sink: the TCP stream-input path feeds
+// observations through the same registration, storage, and model-update
+// pipeline as the HTTP observe endpoint.
+func (s *Server) Ingest(user, service string, value float64, timestampMs int64) error {
+	if user == "" || service == "" {
+		return fmt.Errorf("server: user and service are required")
+	}
+	if value < 0 {
+		return fmt.Errorf("server: negative QoS value %g", value)
+	}
+	uid, _ := s.users.Register(user)
+	sid, _ := s.services.Register(service)
+	t := s.now().Sub(s.base)
+	if timestampMs > 0 {
+		t = time.UnixMilli(timestampMs).Sub(s.base)
+		if t < 0 {
+			t = 0
+		}
+	}
+	sample := stream.Sample{Time: t, User: uid, Service: sid, Value: value}
+	if s.store != nil {
+		if err := s.store.Append(sample); err != nil {
+			return err
+		}
+	}
+	s.model.Observe(sample)
+	s.metrics.observations.Add(1)
+	return nil
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// counters holds the service's operational metrics. All fields are
+// manipulated atomically; the zero value is ready to use.
+type counters struct {
+	observations     atomic.Int64 // accepted QoS observations
+	predictions      atomic.Int64 // single predictions served
+	batchPredictions atomic.Int64 // batch prediction entries served
+	notFound         atomic.Int64 // 404 responses (unknown users/services)
+	badRequests      atomic.Int64 // 400-level rejections
+	churnRemovals    atomic.Int64 // users/services deregistered
+}
+
+// metricsRoutes registers the /metrics endpoint; called from routes().
+func (s *Server) metricsRoutes() {
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// handleMetrics renders the counters plus model gauges in the plain-text
+// exposition format scrapers expect: `name value` lines.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	write := func(name string, v int64) {
+		fmt.Fprintf(w, "amf_%s %d\n", name, v)
+	}
+	write("observations_total", s.metrics.observations.Load())
+	write("predictions_total", s.metrics.predictions.Load())
+	write("batch_predictions_total", s.metrics.batchPredictions.Load())
+	write("not_found_total", s.metrics.notFound.Load())
+	write("bad_requests_total", s.metrics.badRequests.Load())
+	write("churn_removals_total", s.metrics.churnRemovals.Load())
+	write("model_users", int64(s.users.Len()))
+	write("model_services", int64(s.services.Len()))
+	write("model_updates_total", s.model.Updates())
+	write("uptime_ms", s.now().Sub(s.base).Milliseconds())
+	if s.store != nil {
+		write("qosdb_observations", int64(s.store.Len()))
+	}
+}

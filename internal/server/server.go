@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/qosdb"
+	"github.com/qoslab/amf/internal/registry"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Server is the QoS prediction service. Construct with New, mount its
+// Handler on an http.Server, and optionally run RunReplay in a goroutine
+// for continuous background model updating between observations.
+type Server struct {
+	model    *core.Concurrent
+	users    *registry.Registry
+	services *registry.Registry
+	base     time.Time
+	now      func() time.Time
+	mux      *http.ServeMux
+
+	// MaxBatch bounds observe/predict batch sizes (guards memory against
+	// hostile requests). Defaults to 10000.
+	MaxBatch int
+
+	// store is the optional QoS database (see SetStore).
+	store *qosdb.Store
+
+	metrics counters
+}
+
+// New creates a prediction service around an AMF model.
+func New(model *core.Model) *Server {
+	s := &Server{
+		model:    core.NewConcurrent(model),
+		users:    registry.New(),
+		services: registry.New(),
+		now:      time.Now,
+		MaxBatch: 10000,
+	}
+	s.base = s.now()
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// NewWithClock injects a clock for tests.
+func NewWithClock(model *core.Model, now func() time.Time) *Server {
+	s := New(model)
+	s.now = now
+	s.base = now()
+	return s
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /api/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("GET /api/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /api/v1/predict", s.handleBatchPredict)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
+	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
+	s.mux.HandleFunc("DELETE /api/v1/users", s.handleDeleteUser)
+	s.mux.HandleFunc("DELETE /api/v1/services", s.handleDeleteService)
+	s.stateRoutes()
+	s.historyRoutes()
+	s.metricsRoutes()
+	s.flaggedRoutes()
+}
+
+// RunReplay keeps the model converging between observations: every
+// interval it performs up to batch replay updates (Algorithm 1's
+// "randomly pick an existing data sample" loop). It returns when ctx is
+// cancelled.
+func (s *Server) RunReplay(ctx context.Context, interval time.Duration, batch int) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.model.AdvanceTo(s.now().Sub(s.base))
+			s.model.ReplaySteps(batch)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// countError tallies an error response in the metrics and writes it.
+func (s *Server) countError(w http.ResponseWriter, status int, format string, args ...any) {
+	switch {
+	case status == http.StatusNotFound:
+		s.metrics.notFound.Add(1)
+	case status >= 400 && status < 500:
+		s.metrics.badRequests.Add(1)
+	}
+	writeError(w, status, format, args...)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		s.countError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	if len(req.Observations) > s.MaxBatch {
+		s.countError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Observations), s.MaxBatch)
+		return
+	}
+	var resp ObserveResponse
+	samples := make([]stream.Sample, 0, len(req.Observations))
+	for i, o := range req.Observations {
+		if o.User == "" || o.Service == "" {
+			s.countError(w, http.StatusBadRequest, "observation %d: user and service are required", i)
+			return
+		}
+		if o.Value < 0 {
+			s.countError(w, http.StatusBadRequest, "observation %d: negative QoS value %g", i, o.Value)
+			return
+		}
+		uid, newU := s.users.Register(o.User)
+		sid, newS := s.services.Register(o.Service)
+		if newU {
+			resp.NewUsers++
+		}
+		if newS {
+			resp.NewServices++
+		}
+		t := s.now().Sub(s.base)
+		if o.TimestampMs > 0 {
+			t = time.UnixMilli(o.TimestampMs).Sub(s.base)
+			if t < 0 {
+				t = 0
+			}
+		}
+		samples = append(samples, stream.Sample{Time: t, User: uid, Service: sid, Value: o.Value})
+	}
+	if s.store != nil {
+		for _, sample := range samples {
+			if err := s.store.Append(sample); err != nil {
+				s.countError(w, http.StatusInternalServerError, "qos database: %v", err)
+				return
+			}
+		}
+	}
+	s.model.ObserveAll(samples)
+	resp.Accepted = len(samples)
+	s.metrics.observations.Add(int64(resp.Accepted))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve maps names to model IDs, distinguishing which side is unknown.
+func (s *Server) resolve(user, service string) (uid, sid int, err error) {
+	uid, ok := s.users.Lookup(user)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown user %q", user)
+	}
+	sid, ok = s.services.Lookup(service)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown service %q", service)
+	}
+	return uid, sid, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	service := r.URL.Query().Get("service")
+	if user == "" || service == "" {
+		s.countError(w, http.StatusBadRequest, "user and service query parameters are required")
+		return
+	}
+	uid, sid, err := s.resolve(user, service)
+	if err != nil {
+		s.countError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	v, conf, err := s.model.PredictWithConfidence(uid, sid)
+	if err != nil {
+		// Registered but never observed (e.g. deregistered from the
+		// model after churn): treat as not found.
+		s.countError(w, http.StatusNotFound, "no prediction for (%s, %s): %v", user, service, err)
+		return
+	}
+	s.metrics.predictions.Add(1)
+	writeJSON(w, http.StatusOK, PredictResponse{User: user, Service: service, Value: v, Confidence: conf})
+}
+
+func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
+	var req BatchPredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.User == "" || len(req.Services) == 0 {
+		s.countError(w, http.StatusBadRequest, "user and services are required")
+		return
+	}
+	if len(req.Services) > s.MaxBatch {
+		s.countError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Services), s.MaxBatch)
+		return
+	}
+	uid, userKnown := s.users.Lookup(req.User)
+	resp := BatchPredictResponse{User: req.User}
+	for _, name := range req.Services {
+		p := BatchPrediction{Service: name}
+		if userKnown {
+			if sid, ok := s.services.Lookup(name); ok {
+				if v, conf, err := s.model.PredictWithConfidence(uid, sid); err == nil {
+					p.Value = v
+					p.Confidence = conf
+					p.OK = true
+				}
+			}
+		}
+		resp.Predictions = append(resp.Predictions, p)
+	}
+	s.metrics.batchPredictions.Add(int64(len(resp.Predictions)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Users:    s.users.Len(),
+		Services: s.services.Len(),
+		Updates:  s.model.Updates(),
+		UptimeMs: s.now().Sub(s.base).Milliseconds(),
+	})
+}
+
+func (s *Server) handleListUsers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, infoList(s.users))
+}
+
+func (s *Server) handleListServices(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, infoList(s.services))
+}
+
+func infoList(r *registry.Registry) []EntityInfo {
+	list := r.List()
+	out := make([]EntityInfo, len(list))
+	for i, info := range list {
+		out[i] = EntityInfo{Name: info.Name, ID: info.ID}
+	}
+	return out
+}
+
+func (s *Server) handleDeleteUser(w http.ResponseWriter, r *http.Request) {
+	s.handleDelete(w, r, s.users, s.model.RemoveUser)
+}
+
+func (s *Server) handleDeleteService(w http.ResponseWriter, r *http.Request) {
+	s.handleDelete(w, r, s.services, s.model.RemoveService)
+}
+
+// handleDelete implements churn departure: the entity leaves the registry
+// and its model state is purged.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, reg *registry.Registry, purge func(int)) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		s.countError(w, http.StatusBadRequest, "name query parameter is required")
+		return
+	}
+	id, ok := reg.Deregister(name)
+	if !ok {
+		s.countError(w, http.StatusNotFound, "unknown entity %q", name)
+		return
+	}
+	purge(id)
+	s.metrics.churnRemovals.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// Snapshot exposes model snapshotting for operational persistence.
+func (s *Server) Snapshot() ([]byte, error) { return s.model.Snapshot() }

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/qoslab/amf/internal/registry"
+)
+
+// persistedState is the on-disk image of a prediction service: the AMF
+// model snapshot plus the user/service name⇄ID directories (the model
+// alone is keyed by the IDs the registries assign, so both must travel
+// together).
+type persistedState struct {
+	Model    []byte
+	Users    []registry.Info
+	Services []registry.Info
+}
+
+// SaveState serializes the full service state for persistence across
+// restarts (model factors + registries; the replay pool is transient and
+// deliberately excluded).
+func (s *Server) SaveState() ([]byte, error) {
+	model, err := s.model.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := persistedState{
+		Model:    model,
+		Users:    s.users.List(),
+		Services: s.services.List(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("server: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState replaces the service's model and registries with a state
+// produced by SaveState. On error the service is left unchanged (the
+// registries are restored only after the model decodes).
+func (s *Server) LoadState(data []byte) error {
+	var st persistedState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("server: decode state: %w", err)
+	}
+	users := registry.New()
+	if err := users.Restore(st.Users); err != nil {
+		return err
+	}
+	services := registry.New()
+	if err := services.Restore(st.Services); err != nil {
+		return err
+	}
+	if err := s.model.Restore(st.Model); err != nil {
+		return err
+	}
+	s.users = users
+	s.services = services
+	return nil
+}
+
+// stateRoutes registers the snapshot endpoints; called from routes().
+func (s *Server) stateRoutes() {
+	s.mux.HandleFunc("GET /api/v1/snapshot", s.handleGetSnapshot)
+	s.mux.HandleFunc("POST /api/v1/snapshot", s.handlePostSnapshot)
+}
+
+// handleGetSnapshot streams the persisted state (operational backup).
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.SaveState()
+	if err != nil {
+		s.countError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// handlePostSnapshot restores the service from an uploaded state.
+func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		s.countError(w, http.StatusBadRequest, "read snapshot: %v", err)
+		return
+	}
+	if err := s.LoadState(data); err != nil {
+		s.countError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+}

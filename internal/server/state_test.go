@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/qoslab/amf/internal/core"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	s1 := testServer(t)
+	observeSome(t, s1)
+	before := doReq(t, s1, http.MethodGet, "/api/v1/predict?user=u1&service=s2", nil)
+	if before.Code != http.StatusOK {
+		t.Fatalf("predict before save: %d", before.Code)
+	}
+	var orig PredictResponse
+	if err := json.Unmarshal(before.Body.Bytes(), &orig); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := s1.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server restored from the state must give the same answers,
+	// including the name-to-ID mapping.
+	s2 := testServer(t)
+	if err := s2.LoadState(data); err != nil {
+		t.Fatal(err)
+	}
+	after := doReq(t, s2, http.MethodGet, "/api/v1/predict?user=u1&service=s2", nil)
+	if after.Code != http.StatusOK {
+		t.Fatalf("predict after restore: %d: %s", after.Code, after.Body.String())
+	}
+	var restored PredictResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Value != orig.Value {
+		t.Fatalf("restored prediction %g != original %g", restored.Value, orig.Value)
+	}
+
+	// New registrations after restore must not collide with restored IDs.
+	w := doReq(t, s2, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: []Observation{
+		{User: "brand-new", Service: "s0", Value: 1},
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("observe after restore: %d", w.Code)
+	}
+	var stats StatsResponse
+	w = doReq(t, s2, http.MethodGet, "/api/v1/stats", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 5 { // 4 restored + 1 new
+		t.Fatalf("users after restore+observe = %d, want 5", stats.Users)
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	s := testServer(t)
+	if err := s.LoadState([]byte("junk")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSnapshotHTTPEndpoints(t *testing.T) {
+	s1 := testServer(t)
+	observeSome(t, s1)
+	get := doReq(t, s1, http.MethodGet, "/api/v1/snapshot", nil)
+	if get.Code != http.StatusOK {
+		t.Fatalf("GET snapshot: %d", get.Code)
+	}
+	if ct := get.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	s2 := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/snapshot", bytes.NewReader(get.Body.Bytes()))
+	w := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST snapshot: %d: %s", w.Code, w.Body.String())
+	}
+	if got := doReq(t, s2, http.MethodGet, "/api/v1/predict?user=u1&service=s1", nil); got.Code != http.StatusOK {
+		t.Fatalf("predict after HTTP restore: %d", got.Code)
+	}
+}
+
+func TestSnapshotHTTPRejectsGarbage(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/snapshot", bytes.NewReader([]byte("nope")))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage restore: %d", w.Code)
+	}
+}
+
+func TestConcurrentRestoreSwapsModel(t *testing.T) {
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	trained := core.MustNew(cfg)
+	s := New(trained)
+	observeSome(t, s)
+	snap, err := s.model.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.model.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.model.Restore([]byte("bad")); err == nil {
+		t.Fatal("bad restore should fail and keep the old model")
+	}
+	if s.model.NumUsers() != 4 {
+		t.Fatalf("model lost state after failed restore: %d users", s.model.NumUsers())
+	}
+}

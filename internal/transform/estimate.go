@@ -1,0 +1,85 @@
+package transform
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoData is returned by EstimateAlpha when given no positive samples.
+var ErrNoData = errors.New("transform: no positive samples to estimate alpha from")
+
+// LogLikelihood returns the Box-Cox profile log-likelihood of alpha on the
+// positive samples xs (Box & Cox 1964):
+//
+//	ℓ(α) = −n/2 · log σ²(α) + (α−1) Σ log xᵢ
+//
+// where σ²(α) is the variance of the transformed samples. Larger is better.
+// Non-positive samples are clamped to Eps, consistent with Transformer.
+func LogLikelihood(xs []float64, alpha float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	var sumLog float64
+	transformed := make([]float64, n)
+	for i, x := range xs {
+		if x < Eps {
+			x = Eps
+		}
+		sumLog += math.Log(x)
+		transformed[i] = BoxCox(x, alpha)
+	}
+	var mean float64
+	for _, y := range transformed {
+		mean += y
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, y := range transformed {
+		d := y - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	if variance <= 0 {
+		return math.Inf(-1)
+	}
+	return -float64(n)/2*math.Log(variance) + (alpha-1)*sumLog
+}
+
+// EstimateAlpha finds the Box-Cox alpha maximizing the profile
+// log-likelihood over [lo, hi] via golden-section search. The paper hand
+// tunes α (−0.007 for RT, −0.05 for TP); this estimator recovers values of
+// the same sign and magnitude automatically from data and is used by the
+// dataset tooling and tests.
+func EstimateAlpha(xs []float64, lo, hi float64) (float64, error) {
+	clean := xs[:0:0]
+	for _, x := range xs {
+		if x > 0 {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return 0, ErrNoData
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	const phi = 0.618033988749895
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc := LogLikelihood(clean, c)
+	fd := LogLikelihood(clean, d)
+	for i := 0; i < 100 && b-a > 1e-6; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = LogLikelihood(clean, c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = LogLikelihood(clean, d)
+		}
+	}
+	return (a + b) / 2, nil
+}

@@ -1,0 +1,98 @@
+package transform
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateAlphaNoData(t *testing.T) {
+	if _, err := EstimateAlpha(nil, -2, 2); !errors.Is(err, ErrNoData) {
+		t.Fatalf("expected ErrNoData, got %v", err)
+	}
+	if _, err := EstimateAlpha([]float64{-1, 0}, -2, 2); !errors.Is(err, ErrNoData) {
+		t.Fatalf("expected ErrNoData for non-positive samples, got %v", err)
+	}
+}
+
+func TestEstimateAlphaRecoversLogNormal(t *testing.T) {
+	// If X = exp(Z) with Z normal, the likelihood-optimal Box-Cox alpha
+	// is ~0 (the log transform). The estimator should land near 0.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	alpha, err := EstimateAlpha(xs, -2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha) > 0.1 {
+		t.Fatalf("lognormal data should give alpha ≈ 0, got %g", alpha)
+	}
+}
+
+func TestEstimateAlphaNormalDataPrefersNearOne(t *testing.T) {
+	// Already-normal positive data should prefer alpha near 1 over the
+	// strongly de-skewing alphas.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64() // positive, symmetric
+	}
+	alpha, err := EstimateAlpha(xs, -2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llAtAlpha := LogLikelihood(xs, alpha)
+	llAtZero := LogLikelihood(xs, 0)
+	if llAtAlpha < llAtZero {
+		t.Fatalf("estimated alpha %g has lower likelihood than 0", alpha)
+	}
+}
+
+func TestEstimateAlphaFlippedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	a1, err1 := EstimateAlpha(xs, -2, 2)
+	a2, err2 := EstimateAlpha(xs, 2, -2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(a1-a2) > 1e-6 {
+		t.Fatalf("flipped bounds gave different results: %g vs %g", a1, a2)
+	}
+}
+
+func TestLogLikelihoodEdgeCases(t *testing.T) {
+	if !math.IsInf(LogLikelihood(nil, 0.5), -1) {
+		t.Fatal("empty input should give -Inf")
+	}
+	if !math.IsInf(LogLikelihood([]float64{3, 3, 3}, 0.5), -1) {
+		t.Fatal("zero-variance input should give -Inf")
+	}
+}
+
+func TestLogLikelihoodMaximumIsInterior(t *testing.T) {
+	// The estimator's returned alpha should score at least as well as
+	// nearby grid points (it found a local maximum of the profile).
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 0.8)
+	}
+	alpha, err := EstimateAlpha(xs, -2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := LogLikelihood(xs, alpha)
+	for _, d := range []float64{-0.2, -0.1, 0.1, 0.2} {
+		if LogLikelihood(xs, alpha+d) > best+1e-6 {
+			t.Fatalf("alpha %g is not a local maximum (alpha%+g is better)", alpha, d)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package transform_test
+
+import (
+	"fmt"
+
+	"github.com/qoslab/amf/internal/transform"
+)
+
+// The data-transformation pipeline of the paper's Sec. IV-C.1: Box-Cox
+// de-skews a QoS value and linear normalization maps it to [0, 1]; the
+// backward pass inverts both.
+func ExampleTransformer() {
+	tr := transform.MustNew(-0.007, 0, 20) // the paper's response-time setting
+
+	rt := 1.33 // seconds (the dataset's mean response time)
+	r := tr.Forward(rt)
+	back := tr.Backward(r)
+
+	fmt.Printf("normalized target in (0,1): %v\n", r > 0 && r < 1)
+	fmt.Printf("inverse recovers the value: %.2f\n", back)
+	// Output:
+	// normalized target in (0,1): true
+	// inverse recovers the value: 1.33
+}
+
+// Box-Cox with alpha=0 is the log transform, and the transform is
+// monotone (rank-preserving), which is what lets AMF train on transformed
+// targets without changing which candidate is best.
+func ExampleBoxCox() {
+	fmt.Printf("boxcox(e, 0) = %.0f\n", transform.BoxCox(2.718281828459045, 0))
+	fmt.Printf("order preserved: %v\n",
+		transform.BoxCox(1, -0.5) < transform.BoxCox(2, -0.5))
+	// Output:
+	// boxcox(e, 0) = 1
+	// order preserved: true
+}
