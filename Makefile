@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
+
+# What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
+# plus the race detector over the concurrent internals.
+ci: build vet test
+	$(GO) test -race ./internal/...
 
 build:
 	$(GO) build ./...

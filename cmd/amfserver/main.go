@@ -23,6 +23,7 @@ import (
 
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/ingest"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/server"
@@ -47,6 +48,10 @@ func run(args []string) error {
 		state    = fs.String("state", "", "state file: restored at startup if present, saved on shutdown")
 		wal      = fs.String("wal", "", "QoS database write-ahead log; observations are appended and replayed at startup (pair with -state so IDs resolve)")
 		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
+
+		queue       = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
+		publishIvl  = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
+		publishEach = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +75,13 @@ func run(args []string) error {
 		return err
 	}
 
-	svc := server.New(model)
+	eng := engine.New(model, engine.Config{
+		QueueSize:       *queue,
+		PublishInterval: *publishIvl,
+		PublishEvery:    *publishEach,
+	})
+	svc := server.NewWithEngine(eng)
+	defer svc.Close()
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
 			if err := svc.LoadState(data); err != nil {
@@ -93,9 +104,16 @@ func run(args []string) error {
 		}
 	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Full slow-client protection: bound the header read, the whole
+		// request (large observe/snapshot uploads included), the response
+		// write, and how long an idle keep-alive connection may pin a
+		// file descriptor.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,6 +144,10 @@ func run(args []string) error {
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Drain the ingest queue before snapshotting so late stream
+	// observations make it into the saved state (Close is idempotent;
+	// the deferred call becomes a no-op).
+	svc.Close()
 	if *state != "" {
 		data, err := svc.SaveState()
 		if err != nil {

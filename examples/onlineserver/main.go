@@ -16,6 +16,7 @@ import (
 	"github.com/qoslab/amf/internal/client"
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/dataset"
+	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/server"
 )
 
@@ -31,11 +32,21 @@ func main() {
 	}
 
 	// The prediction service (normally `amfserver`; in-process here so
-	// the example is self-contained and runs anywhere).
+	// the example is self-contained and runs anywhere). The model is
+	// wrapped in a serving engine: predictions read an immutable
+	// published view without locking, while observations and background
+	// replay flow through the engine's single writer, which republishes
+	// the view every 128 updates or 10ms — the staleness bound clients
+	// observe.
 	rmin, rmax := dataset.ResponseTime.Range()
 	cfg := core.DefaultConfig(dataset.ResponseTime.DefaultAlpha(), rmin, rmax)
 	cfg.Expiry = 0
-	svc := server.New(core.MustNew(cfg))
+	eng := engine.New(core.MustNew(cfg), engine.Config{
+		PublishEvery:    128,
+		PublishInterval: 10 * time.Millisecond,
+	})
+	svc := server.NewWithEngine(eng)
+	defer svc.Close()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
@@ -105,4 +116,11 @@ func main() {
 		log.Fatal("no candidate available: ", err)
 	}
 	fmt.Printf("\nadaptation decision: bind %s (predicted %.3f s)\n", best, val)
+
+	// The serving engine's own accounting: how many samples flowed
+	// through the update loop and how many immutable views were
+	// published for the lock-free read path.
+	st := eng.Stats()
+	fmt.Printf("\nengine: applied %d samples, replayed %d, published %d views (v%d)\n",
+		st.Applied, st.Replayed, st.Published, st.Version)
 }

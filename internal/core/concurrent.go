@@ -7,10 +7,18 @@ import (
 	"github.com/qoslab/amf/internal/stream"
 )
 
-// Concurrent wraps a Model with a read-write mutex so that the QoS
-// prediction service (framework Fig. 3) can serve predictions from many
-// goroutines while a writer folds in observed QoS data. Predictions take
-// the read lock; observations, replay, and restores take the write lock.
+// Concurrent wraps a Model with a read-write mutex so that multiple
+// goroutines can serve predictions while a writer folds in observed QoS
+// data. Predictions take the read lock; observations, replay, and
+// restores take the write lock.
+//
+// Concurrent remains the simple choice for library users with modest
+// concurrency. The HTTP serving stack no longer uses it: under heavy
+// parallel read traffic the single RWMutex becomes the bottleneck (every
+// prediction bounces the same cache line, and each SGD write stalls all
+// readers), so internal/engine serves predictions from an immutable
+// published PredictView behind an atomic pointer instead — wait-free
+// reads, single-writer batched updates.
 type Concurrent struct {
 	mu sync.RWMutex
 	m  *Model
@@ -154,6 +162,15 @@ func (c *Concurrent) AdvanceTo(t time.Duration) {
 }
 
 // Snapshot serializes the learned state under the read lock.
+//
+// Note that the read lock is held for the FULL serialization (gob-encoding
+// every latent vector), during which every writer — Observe, ObserveAll,
+// ReplaySteps, Restore — is blocked. For a large model this stall can
+// reach tens of milliseconds. Library users snapshotting occasionally can
+// live with that; the serving path must not, which is why the server
+// stack uses engine.Engine instead: its Snapshot serializes an immutable
+// published PredictView and never touches a lock (see internal/engine and
+// Model.BuildView).
 func (c *Concurrent) Snapshot() ([]byte, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

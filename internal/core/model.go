@@ -30,6 +30,12 @@ type Model struct {
 	users    map[int]*entity
 	services map[int]*entity
 	updates  int64
+
+	// dirtyUsers/dirtyServices record entities touched since the last
+	// published view so RefreshView can reclone only the affected shards.
+	// nil until EnableViewTracking (or the first BuildView); see view.go.
+	dirtyUsers    map[int]struct{}
+	dirtyServices map[int]struct{}
 }
 
 // New constructs an empty AMF model.
@@ -102,6 +108,7 @@ func (m *Model) Observe(s stream.Sample) {
 	v := m.service(s.Service)
 	m.pool.Add(s)
 	m.update(u, v, s.Value)
+	m.markDirty(s.User, s.Service)
 }
 
 // ObserveAll ingests samples in order.
@@ -125,6 +132,7 @@ func (m *Model) ReplayStep() bool {
 	v, okV := m.services[s.Service]
 	if okU && okV {
 		m.update(u, v, s.Value)
+		m.markDirty(s.User, s.Service)
 	}
 	return true
 }
@@ -318,10 +326,20 @@ func (m *Model) ServiceIDs() []int {
 // RemoveUser forgets a user entirely (framework Sec. III: users may leave
 // the environment). Replay samples involving the user die lazily because
 // prediction state is gone; they are also superseded in the pool over time.
-func (m *Model) RemoveUser(id int) { delete(m.users, id) }
+func (m *Model) RemoveUser(id int) {
+	delete(m.users, id)
+	if m.dirtyUsers != nil {
+		m.dirtyUsers[id] = struct{}{}
+	}
+}
 
 // RemoveService forgets a service entirely.
-func (m *Model) RemoveService(id int) { delete(m.services, id) }
+func (m *Model) RemoveService(id int) {
+	delete(m.services, id)
+	if m.dirtyServices != nil {
+		m.dirtyServices[id] = struct{}{}
+	}
+}
 
 // SetLearnRate changes the SGD step size η for subsequent updates. It
 // enables learning-rate annealing schedules: a large η converges fast

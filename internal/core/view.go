@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"github.com/qoslab/amf/internal/transform"
+)
+
+// viewShardCount is the number of hash shards a PredictView's entity
+// tables are split into. It must be a power of two (IDs are mapped to
+// shards by masking). Sharding is what makes incremental republication
+// cheap: a refresh reclones only the shards containing entities that
+// changed since the previous view, and shares the untouched shards with
+// the previous view by pointer.
+const viewShardCount = 64
+
+// viewEntity is the immutable published state of one user or service:
+// a private copy of the latent factor vector plus the tracked error and
+// update count frozen at publish time. Once a viewEntity is reachable
+// from a published PredictView it is never written again.
+type viewEntity struct {
+	vec     []float64
+	err     float64
+	updates int
+}
+
+// viewTable is one side (users or services) of a PredictView: a fixed
+// array of hash shards. The array itself is copied per refresh (64
+// pointers); individual shard maps are shared between consecutive views
+// unless dirty.
+type viewTable struct {
+	shards [viewShardCount]map[int]viewEntity
+	count  int
+}
+
+func shardOf(id int) int { return id & (viewShardCount - 1) }
+
+func (t *viewTable) get(id int) (viewEntity, bool) {
+	sh := t.shards[shardOf(id)]
+	if sh == nil {
+		return viewEntity{}, false
+	}
+	e, ok := sh[id]
+	return e, ok
+}
+
+func (t *viewTable) each(f func(id int, e viewEntity)) {
+	for _, sh := range t.shards {
+		for id, e := range sh {
+			f(id, e)
+		}
+	}
+}
+
+// recount recomputes the cached entity count after shard surgery.
+func (t *viewTable) recount() {
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh)
+	}
+	t.count = n
+}
+
+// PredictView is an immutable, shareable snapshot of a Model's learned
+// state, sufficient to serve every read-side query (predictions,
+// confidence, ranking, error reports, serialization) without any lock.
+// A view is safe for unlimited concurrent use; it never changes after
+// construction. The serving engine (internal/engine) publishes views
+// through an atomic pointer, RCU-style: readers load the current view
+// and work on it while the single writer prepares and publishes the next
+// one.
+//
+// Build one with Model.BuildView, or incrementally with Model.RefreshView.
+type PredictView struct {
+	cfg      Config
+	tr       *transform.Transformer
+	users    viewTable
+	services viewTable
+	updates  int64
+	version  uint64
+	// owner identifies the model this view was built from, so that
+	// RefreshView can detect a model swap (Restore) and fall back to a
+	// full rebuild. Readers never touch it.
+	owner *Model
+}
+
+// EnableViewTracking turns on recording of entities touched by updates
+// (Observe, ReplayStep, RemoveUser/RemoveService) so that RefreshView can
+// republish views incrementally. BuildView enables it implicitly.
+func (m *Model) EnableViewTracking() {
+	if m.dirtyUsers == nil {
+		m.dirtyUsers = make(map[int]struct{})
+		m.dirtyServices = make(map[int]struct{})
+	}
+}
+
+// markDirty records a touched (user, service) pair for incremental view
+// refresh. A no-op until EnableViewTracking.
+func (m *Model) markDirty(user, service int) {
+	if m.dirtyUsers == nil {
+		return
+	}
+	m.dirtyUsers[user] = struct{}{}
+	m.dirtyServices[service] = struct{}{}
+}
+
+func (m *Model) clearDirty() {
+	clear(m.dirtyUsers)
+	clear(m.dirtyServices)
+}
+
+// DirtyCount returns the number of users and services touched since the
+// last BuildView/RefreshView (0, 0 when tracking is disabled). The
+// serving engine uses it to decide whether a republish is pending.
+func (m *Model) DirtyCount() (users, services int) {
+	return len(m.dirtyUsers), len(m.dirtyServices)
+}
+
+// BuildView constructs a complete immutable view of the model's current
+// state and enables dirty tracking for subsequent RefreshView calls. Cost
+// is O(entities × rank): every latent vector is copied so later in-place
+// SGD updates cannot tear a published view.
+func (m *Model) BuildView() *PredictView {
+	m.EnableViewTracking()
+	m.clearDirty()
+	v := &PredictView{
+		cfg:     m.cfg,
+		tr:      m.tr,
+		updates: m.updates,
+		version: 1,
+		owner:   m,
+	}
+	buildTable(&v.users, m.users)
+	buildTable(&v.services, m.services)
+	return v
+}
+
+func buildTable(dst *viewTable, src map[int]*entity) {
+	for id, e := range src {
+		sh := dst.shards[shardOf(id)]
+		if sh == nil {
+			sh = make(map[int]viewEntity)
+			dst.shards[shardOf(id)] = sh
+		}
+		sh[id] = freezeEntity(e)
+	}
+	dst.count = len(src)
+}
+
+func freezeEntity(e *entity) viewEntity {
+	vec := make([]float64, len(e.vec))
+	copy(vec, e.vec)
+	return viewEntity{vec: vec, err: e.err.Value(), updates: e.updates}
+}
+
+// RefreshView publishes a new view derived from prev, recloning only the
+// shards that contain entities touched since prev was built. Untouched
+// shards are shared with prev by pointer, so the refresh cost scales with
+// the write rate between publishes, not with the total number of
+// entities. If prev is nil, was built from a different model (Restore
+// swapped it), or dirty tracking is off, it falls back to a full
+// BuildView while keeping the version sequence monotonic.
+func (m *Model) RefreshView(prev *PredictView) *PredictView {
+	if prev == nil {
+		return m.BuildView()
+	}
+	if prev.owner != m || m.dirtyUsers == nil {
+		v := m.BuildView()
+		v.version = prev.version + 1
+		return v
+	}
+	v := &PredictView{
+		cfg:      m.cfg,
+		tr:       m.tr,
+		users:    prev.users,    // shares shard maps; dirty ones replaced below
+		services: prev.services, // ditto
+		updates:  m.updates,
+		version:  prev.version + 1,
+		owner:    m,
+	}
+	refreshTable(&v.users, m.users, m.dirtyUsers)
+	refreshTable(&v.services, m.services, m.dirtyServices)
+	m.clearDirty()
+	return v
+}
+
+// refreshTable replaces the dirty shards of dst (currently aliasing the
+// previous view's shards) with fresh clones reflecting src.
+func refreshTable(dst *viewTable, src map[int]*entity, dirty map[int]struct{}) {
+	if len(dirty) == 0 {
+		return
+	}
+	cloned := make(map[int]map[int]viewEntity) // shard index -> fresh map
+	for id := range dirty {
+		si := shardOf(id)
+		sh, ok := cloned[si]
+		if !ok {
+			old := dst.shards[si]
+			sh = make(map[int]viewEntity, len(old)+1)
+			for k, e := range old {
+				sh[k] = e
+			}
+			cloned[si] = sh
+			dst.shards[si] = sh
+		}
+		if e, ok := src[id]; ok {
+			sh[id] = freezeEntity(e)
+		} else {
+			delete(sh, id) // removed entity (churn departure)
+		}
+	}
+	dst.recount()
+}
+
+// Version returns the publish sequence number of this view. Versions are
+// strictly increasing along the chain of BuildView/RefreshView calls.
+func (v *PredictView) Version() uint64 { return v.version }
+
+// Updates returns the model's total SGD update count frozen at publish
+// time. Monotonically non-decreasing across successive views of one model.
+func (v *PredictView) Updates() int64 { return v.updates }
+
+// Config returns the model configuration frozen at publish time.
+func (v *PredictView) Config() Config { return v.cfg }
+
+// Transformer exposes the view's data transformation (immutable).
+func (v *PredictView) Transformer() *transform.Transformer { return v.tr }
+
+// NumUsers returns the number of users in the view.
+func (v *PredictView) NumUsers() int { return v.users.count }
+
+// NumServices returns the number of services in the view.
+func (v *PredictView) NumServices() int { return v.services.count }
+
+// KnowsUser reports whether the user is present in the view.
+func (v *PredictView) KnowsUser(id int) bool { _, ok := v.users.get(id); return ok }
+
+// KnowsService reports whether the service is present in the view.
+func (v *PredictView) KnowsService(id int) bool { _, ok := v.services.get(id); return ok }
+
+// Predict estimates the QoS value between a user and a service, exactly
+// as Model.Predict but against the frozen factors — wait-free.
+func (v *PredictView) Predict(user, service int) (float64, error) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return 0, ErrUnknownUser
+	}
+	s, ok := v.services.get(service)
+	if !ok {
+		return 0, ErrUnknownService
+	}
+	g := transform.Sigmoid(dot(u.vec, s.vec))
+	return v.tr.Backward(g), nil
+}
+
+// PredictWithConfidence returns Predict's estimate with the confidence
+// score 1/(1 + e_ui + e_sj) derived from the frozen error trackers (see
+// Model.PredictWithConfidence).
+func (v *PredictView) PredictWithConfidence(user, service int) (value, confidence float64, err error) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return 0, 0, ErrUnknownUser
+	}
+	s, ok := v.services.get(service)
+	if !ok {
+		return 0, 0, ErrUnknownService
+	}
+	g := transform.Sigmoid(dot(u.vec, s.vec))
+	confidence = 1 / (1 + u.err + s.err)
+	return v.tr.Backward(g), confidence, nil
+}
+
+// PredictNormalized returns the raw sigmoid output g(Ui·Sj) in [0,1].
+func (v *PredictView) PredictNormalized(user, service int) (float64, error) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return 0, ErrUnknownUser
+	}
+	s, ok := v.services.get(service)
+	if !ok {
+		return 0, ErrUnknownService
+	}
+	return transform.Sigmoid(dot(u.vec, s.vec)), nil
+}
+
+// UserError returns the user's frozen tracked error e_ui.
+func (v *PredictView) UserError(id int) (float64, bool) {
+	e, ok := v.users.get(id)
+	return e.err, ok
+}
+
+// ServiceError returns the service's frozen tracked error e_sj.
+func (v *PredictView) ServiceError(id int) (float64, bool) {
+	e, ok := v.services.get(id)
+	return e.err, ok
+}
+
+// RankServices is Model.RankServices against the frozen view: candidates
+// sorted by predicted value, unknowns listed separately. Because every
+// prediction reads the same immutable view, a ranking is internally
+// consistent — no mid-ranking model update can reorder it.
+func (v *PredictView) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return nil, append(unknown, candidates...)
+	}
+	for _, c := range candidates {
+		s, ok := v.services.get(c)
+		if !ok {
+			unknown = append(unknown, c)
+			continue
+		}
+		g := transform.Sigmoid(dot(u.vec, s.vec))
+		ranked = append(ranked, Ranked{Service: c, Value: v.tr.Backward(g)})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if lowerIsBetter {
+			return ranked[i].Value < ranked[j].Value
+		}
+		return ranked[i].Value > ranked[j].Value
+	})
+	return ranked, unknown
+}
+
+// Best returns the top-ranked candidate, or ok=false when none is
+// predictable.
+func (v *PredictView) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
+	ranked, _ := v.RankServices(user, candidates, lowerIsBetter)
+	if len(ranked) == 0 {
+		return Ranked{}, false
+	}
+	return ranked[0], true
+}
+
+// HighErrorUsers returns users whose frozen tracked error is at or above
+// threshold, worst first (see Model.HighErrorUsers).
+func (v *PredictView) HighErrorUsers(threshold float64) []Flagged {
+	return v.users.flagged(threshold)
+}
+
+// HighErrorServices is HighErrorUsers for services.
+func (v *PredictView) HighErrorServices(threshold float64) []Flagged {
+	return v.services.flagged(threshold)
+}
+
+func (t *viewTable) flagged(threshold float64) []Flagged {
+	var out []Flagged
+	t.each(func(id int, e viewEntity) {
+		if e.err >= threshold {
+			out = append(out, Flagged{ID: id, Error: e.err})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Error != out[j].Error {
+			return out[i].Error > out[j].Error
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Snapshot serializes the view in the same format as Model.Snapshot, so
+// the bytes are interchangeable with core.Restore. Because the view is
+// immutable, serialization requires no lock and cannot stall the writer —
+// this is the serving engine's replacement for Concurrent.Snapshot, which
+// holds the read lock (blocking all writers) for the full serialization.
+func (v *PredictView) Snapshot() ([]byte, error) {
+	snap := snapshot{Config: v.cfg, Updates: v.updates}
+	snap.Users = v.users.snapshots()
+	snap.Services = v.services.snapshots()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: encode view snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (t *viewTable) snapshots() []entitySnapshot {
+	out := make([]entitySnapshot, 0, t.count)
+	t.each(func(id int, e viewEntity) {
+		// The view's vectors are immutable and the snapshot is a value
+		// copy, so sharing the slice here would still be safe — but gob
+		// encoding aliases are cheap enough that we keep the copy for
+		// symmetry with entitiesToSnapshots.
+		vec := make([]float64, len(e.vec))
+		copy(vec, e.vec)
+		out = append(out, entitySnapshot{ID: id, Vec: vec, Err: e.err, Updates: e.updates})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func viewTestModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	m := MustNew(cfg)
+	for u := 0; u < 10; u++ {
+		for s := 0; s < 20; s++ {
+			if (u+s)%3 == 0 {
+				m.Observe(stream.Sample{Time: time.Duration(u+s) * time.Second, User: u, Service: s, Value: 0.5 + float64((u*s)%7)})
+			}
+		}
+	}
+	return m
+}
+
+func TestBuildViewMatchesModel(t *testing.T) {
+	m := viewTestModel(t)
+	v := m.BuildView()
+	if v.NumUsers() != m.NumUsers() || v.NumServices() != m.NumServices() {
+		t.Fatalf("view sizes %d/%d, model %d/%d", v.NumUsers(), v.NumServices(), m.NumUsers(), m.NumServices())
+	}
+	if v.Updates() != m.Updates() {
+		t.Fatalf("view updates %d, model %d", v.Updates(), m.Updates())
+	}
+	for u := 0; u < 10; u++ {
+		for s := 0; s < 20; s++ {
+			mv, merr := m.Predict(u, s)
+			vv, verr := v.Predict(u, s)
+			if (merr == nil) != (verr == nil) {
+				t.Fatalf("(%d,%d): model err %v, view err %v", u, s, merr, verr)
+			}
+			if merr == nil && mv != vv {
+				t.Fatalf("(%d,%d): model %g, view %g", u, s, mv, vv)
+			}
+		}
+	}
+	// Confidence agrees too.
+	mv, mc, _ := m.PredictWithConfidence(0, 0)
+	vv, vc, _ := v.PredictWithConfidence(0, 0)
+	if mv != vv || mc != vc {
+		t.Fatalf("confidence: model (%g,%g), view (%g,%g)", mv, mc, vv, vc)
+	}
+}
+
+func TestViewIsImmutableUnderUpdates(t *testing.T) {
+	m := viewTestModel(t)
+	v := m.BuildView()
+	before, err := v.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the model; the already-built view must not move.
+	for i := 0; i < 500; i++ {
+		m.Observe(stream.Sample{User: 0, Service: 0, Value: 9.5})
+	}
+	after, err := v.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("published view changed under model updates: %g -> %g", before, after)
+	}
+}
+
+func TestRefreshViewIncremental(t *testing.T) {
+	m := viewTestModel(t)
+	v1 := m.BuildView()
+	// Touch exactly one (user, service) pair.
+	m.Observe(stream.Sample{User: 1, Service: 2, Value: 3.3})
+	v2 := m.RefreshView(v1)
+	if v2.Version() != v1.Version()+1 {
+		t.Fatalf("version %d after %d", v2.Version(), v1.Version())
+	}
+	// The refreshed view reflects the new state exactly.
+	want, _ := m.Predict(1, 2)
+	got, _ := v2.Predict(1, 2)
+	if want != got {
+		t.Fatalf("refreshed view predict %g, model %g", got, want)
+	}
+	// Untouched shards are shared with the previous view by pointer.
+	dirtyShard := shardOf(1)
+	for i := range v2.users.shards {
+		if i == dirtyShard || v1.users.shards[i] == nil {
+			continue
+		}
+		if !mapsIdentical(v1.users.shards[i], v2.users.shards[i]) {
+			t.Fatalf("clean user shard %d was recloned", i)
+		}
+	}
+	if mapsIdentical(v1.users.shards[dirtyShard], v2.users.shards[dirtyShard]) {
+		t.Fatalf("dirty user shard %d was shared", dirtyShard)
+	}
+	// And the old view still serves the old state.
+	old, _ := v1.Predict(1, 2)
+	if old == got {
+		t.Fatalf("previous view mutated by refresh")
+	}
+}
+
+// mapsIdentical reports whether two maps are the same map object:
+// inserting a sentinel into one must be visible through the other.
+func mapsIdentical(a, b map[int]viewEntity) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	const sentinel = -1 << 40 // cannot collide with real IDs
+	a[sentinel] = viewEntity{}
+	_, ok := b[sentinel]
+	delete(a, sentinel)
+	return ok
+}
+
+func TestRefreshViewRemoval(t *testing.T) {
+	m := viewTestModel(t)
+	v1 := m.BuildView()
+	if !v1.KnowsUser(3) {
+		t.Fatal("user 3 missing from view")
+	}
+	m.RemoveUser(3)
+	m.RemoveService(6)
+	v2 := m.RefreshView(v1)
+	if v2.KnowsUser(3) || v2.KnowsService(6) {
+		t.Fatal("removed entities still in refreshed view")
+	}
+	if v2.NumUsers() != m.NumUsers() || v2.NumServices() != m.NumServices() {
+		t.Fatalf("counts %d/%d after removal, model %d/%d", v2.NumUsers(), v2.NumServices(), m.NumUsers(), m.NumServices())
+	}
+	if !v1.KnowsUser(3) {
+		t.Fatal("removal leaked into previous view")
+	}
+}
+
+func TestRefreshViewAfterModelSwapRebuilds(t *testing.T) {
+	m1 := viewTestModel(t)
+	v1 := m1.BuildView()
+	data, err := m1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := m2.RefreshView(v1) // prev belongs to m1: full rebuild expected
+	if v2.Version() != v1.Version()+1 {
+		t.Fatalf("version not continued across model swap: %d after %d", v2.Version(), v1.Version())
+	}
+	want, _ := m2.Predict(1, 2)
+	got, _ := v2.Predict(1, 2)
+	if want != got {
+		t.Fatalf("rebuilt view predict %g, model %g", got, want)
+	}
+}
+
+func TestViewSnapshotRestoresIdentically(t *testing.T) {
+	m := viewTestModel(t)
+	v := m.BuildView()
+	data, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumUsers() != m.NumUsers() || r.NumServices() != m.NumServices() || r.Updates() != m.Updates() {
+		t.Fatalf("restored %d/%d/%d, want %d/%d/%d",
+			r.NumUsers(), r.NumServices(), r.Updates(), m.NumUsers(), m.NumServices(), m.Updates())
+	}
+	for u := 0; u < 10; u++ {
+		for s := 0; s < 20; s++ {
+			mv, merr := m.Predict(u, s)
+			rv, rerr := r.Predict(u, s)
+			if (merr == nil) != (rerr == nil) || mv != rv {
+				t.Fatalf("(%d,%d): restored %g (%v), want %g (%v)", u, s, rv, rerr, mv, merr)
+			}
+		}
+	}
+}
+
+func TestViewRankMatchesModel(t *testing.T) {
+	m := viewTestModel(t)
+	v := m.BuildView()
+	candidates := []int{0, 3, 6, 9, 12, 999}
+	mr, mu := m.RankServices(4, candidates, true)
+	vr, vu := v.RankServices(4, candidates, true)
+	if len(mr) != len(vr) || len(mu) != len(vu) {
+		t.Fatalf("rank sizes differ: model %d/%d, view %d/%d", len(mr), len(mu), len(vr), len(vu))
+	}
+	for i := range mr {
+		if mr[i] != vr[i] {
+			t.Fatalf("rank[%d]: model %+v, view %+v", i, mr[i], vr[i])
+		}
+	}
+	// Unknown user: every candidate is unknown.
+	if r, u := v.RankServices(12345, candidates, true); len(r) != 0 || len(u) != len(candidates) {
+		t.Fatalf("unknown user rank: %v / %v", r, u)
+	}
+}
+
+func TestViewFlaggedMatchesModel(t *testing.T) {
+	m := viewTestModel(t)
+	// Add a raw newcomer whose tracker stays near 1.
+	m.Observe(stream.Sample{User: 99, Service: 0, Value: 15})
+	v := m.BuildView()
+	mf := m.HighErrorUsers(0.5)
+	vf := v.HighErrorUsers(0.5)
+	if len(mf) != len(vf) {
+		t.Fatalf("flagged sizes: model %d, view %d", len(mf), len(vf))
+	}
+	for i := range mf {
+		if mf[i] != vf[i] {
+			t.Fatalf("flagged[%d]: model %+v, view %+v", i, mf[i], vf[i])
+		}
+	}
+}
+
+func TestDirtyCount(t *testing.T) {
+	m := viewTestModel(t)
+	if u, s := m.DirtyCount(); u != 0 || s != 0 {
+		t.Fatalf("dirty before tracking: %d/%d", u, s)
+	}
+	m.BuildView()
+	if u, s := m.DirtyCount(); u != 0 || s != 0 {
+		t.Fatalf("dirty right after build: %d/%d", u, s)
+	}
+	m.Observe(stream.Sample{User: 1, Service: 2, Value: 1})
+	m.Observe(stream.Sample{User: 1, Service: 3, Value: 1})
+	if u, s := m.DirtyCount(); u != 1 || s != 2 {
+		t.Fatalf("dirty after 2 observes: %d/%d, want 1/2", u, s)
+	}
+}

@@ -1,0 +1,527 @@
+// Package engine is the serving engine of the QoS prediction service: it
+// makes the prediction hot path lock-free and the update path
+// asynchronous.
+//
+// The paper's whole point is *online* prediction that scales to runtime
+// adaptation traffic (Sec. III framework, Fig. 13/14); at serving scale
+// the prediction-time cost dominates (cf. FES, Chattopadhyay et al.), so
+// predictions must never block on SGD updates. The engine achieves that
+// with two mechanisms:
+//
+//   - RCU-style published views. The engine holds an immutable
+//     core.PredictView in an atomic pointer. Every read — Predict,
+//     PredictWithConfidence, Rank, Snapshot, error reports — loads the
+//     pointer and works on the frozen view: zero locks, zero contention,
+//     wait-free. Readers holding an old view keep it alive (GC is our
+//     grace period); they simply observe slightly stale factors, bounded
+//     by the publish policy below.
+//
+//   - A single-writer update loop with sharded ingest. Observations
+//     enter bounded per-shard channels (drop-oldest under overload, with
+//     accounting), are drained in batches by one writer goroutine that
+//     applies them to the model, interleaves ReplayStep work
+//     (Algorithm 1 lines 11-15), and republishes a fresh view every
+//     PublishEvery updates or PublishInterval, whichever comes first.
+//     Republication is incremental: only the view shards touched since
+//     the last publish are recloned (see core.Model.RefreshView).
+//
+// Two write paths exist on purpose. Enqueue is fire-and-forget with
+// backpressure accounting — the high-frequency stream-ingest path.
+// ObserveAll is synchronous: it hands the batch to the writer and waits
+// until the batch is applied AND a fresh view is published, giving HTTP
+// clients read-your-writes semantics. Control operations (Restore,
+// RemoveUser, ReplaySteps, ...) serialize with the writer on a mutex that
+// the read path never touches.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Config tunes the serving engine. The zero value gets sensible defaults.
+type Config struct {
+	// QueueSize bounds each ingest shard's channel. When a shard is
+	// full, Enqueue drops the oldest queued sample to admit the new one
+	// (freshest-data-wins, matching the model's own expiry semantics).
+	// Default 4096.
+	QueueSize int
+	// IngestShards is the number of ingest channels; producers are
+	// sharded by user ID to spread channel-lock contention. Rounded up
+	// to a power of two. Default 8.
+	IngestShards int
+	// PublishEvery republishes the read view after this many model
+	// updates (K). Default 256.
+	PublishEvery int
+	// PublishInterval republishes at least this often while updates are
+	// pending (T); the worst-case staleness of the published view is
+	// ~2·T. Also the writer's housekeeping tick. Default 50ms.
+	PublishInterval time.Duration
+	// ReplayPerBatch interleaves up to this many ReplayStep updates
+	// (Algorithm 1's "randomly pick an existing sample") after each
+	// drained ingest batch, keeping the model converging between
+	// arrivals without a separate replay loop. Default 0 (replay is
+	// driven externally via ReplaySteps / server.RunReplay).
+	ReplayPerBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.IngestShards <= 0 {
+		c.IngestShards = 8
+	}
+	// Round shards up to a power of two so sharding is a mask.
+	n := 1
+	for n < c.IngestShards {
+		n <<= 1
+	}
+	c.IngestShards = n
+	if c.PublishEvery <= 0 {
+		c.PublishEvery = 256
+	}
+	if c.PublishInterval <= 0 {
+		c.PublishInterval = 50 * time.Millisecond
+	}
+	if c.ReplayPerBatch < 0 {
+		c.ReplayPerBatch = 0
+	}
+	return c
+}
+
+// Stats is a point-in-time accounting snapshot of the engine.
+type Stats struct {
+	Enqueued  int64  // samples accepted into the ingest queue
+	Dropped   int64  // samples dropped under overload (drop-oldest + overflow)
+	Applied   int64  // samples applied to the model (ingest + sync batches)
+	Replayed  int64  // replay updates performed by/through the engine
+	Published int64  // views published
+	QueueLen  int    // samples currently queued across all shards
+	QueueCap  int    // total queue capacity across all shards
+	Version   uint64 // current view version
+	Updates   int64  // current view's model update count
+}
+
+type syncBatch struct {
+	samples []stream.Sample
+	done    chan struct{}
+}
+
+// Engine serves a continuously trained AMF model: lock-free reads from a
+// published view, asynchronous single-writer updates. Construct with New,
+// stop with Close.
+type Engine struct {
+	cfg Config
+
+	// view is the RCU-published read state. Readers only ever Load.
+	view atomic.Pointer[core.PredictView]
+
+	// mu serializes ALL model mutation: the writer loop's batch applies
+	// and every control operation. The read path never acquires it.
+	mu    sync.Mutex
+	model *core.Model
+
+	// publish bookkeeping, guarded by mu.
+	sincePublish int       // model updates since the last publish
+	lastPublish  time.Time // wall time of the last publish
+
+	shards []chan stream.Sample
+	syncCh chan syncBatch
+	wake   chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	enqueued  atomic.Int64
+	dropped   atomic.Int64
+	applied   atomic.Int64
+	replayed  atomic.Int64
+	published atomic.Int64
+}
+
+// New wraps a model in a serving engine and starts its writer goroutine.
+// The caller must not use the model directly afterwards. Close releases
+// the writer.
+func New(model *core.Model, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		model:  model,
+		shards: make([]chan stream.Sample, cfg.IngestShards),
+		syncCh: make(chan syncBatch),
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i] = make(chan stream.Sample, cfg.QueueSize)
+	}
+	e.view.Store(model.BuildView())
+	e.lastPublish = time.Now()
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// Close stops the writer goroutine after a final drain-and-publish, so
+// samples accepted before Close are reflected in the last published view.
+// The engine remains readable after Close; ObserveAll and control
+// operations fall back to applying inline.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.stop)
+	}
+	e.wg.Wait()
+}
+
+// View returns the current published view. The returned view is immutable
+// and safe to use for any number of reads; load it once per request (or
+// per ranking) for internally consistent results.
+func (e *Engine) View() *core.PredictView { return e.view.Load() }
+
+// ---------------------------------------------------------------------------
+// Ingest (async) and observe (sync) write paths.
+
+func (e *Engine) shardFor(user int) chan stream.Sample {
+	return e.shards[user&(len(e.shards)-1)]
+}
+
+// Enqueue admits one observation into the bounded ingest queue without
+// waiting for it to be applied — the high-frequency streaming path. Under
+// overload the oldest queued sample in the shard is dropped to admit the
+// new one (the model prefers fresh data anyway; its replay pool expires
+// old samples). It reports whether the new sample was admitted; drops of
+// either kind are counted in Stats.Dropped.
+func (e *Engine) Enqueue(s stream.Sample) bool {
+	if e.closed.Load() {
+		return false
+	}
+	ch := e.shardFor(s.User)
+	for tries := 0; ; tries++ {
+		select {
+		case ch <- s:
+			e.enqueued.Add(1)
+			e.signal()
+			return true
+		default:
+		}
+		if tries >= 4 {
+			// Contended producers kept refilling the slot we freed;
+			// shed the new sample instead of spinning.
+			e.dropped.Add(1)
+			return false
+		}
+		// Drop the oldest queued sample to make room.
+		select {
+		case <-ch:
+			e.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// EnqueueAll admits a batch via Enqueue and returns how many samples were
+// admitted.
+func (e *Engine) EnqueueAll(ss []stream.Sample) int {
+	n := 0
+	for _, s := range ss {
+		if e.Enqueue(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// ObserveAll applies a batch synchronously: it returns after the batch
+// (and everything queued before it) has been applied to the model and a
+// fresh view has been published, so a subsequent View() reflects the
+// observations — read-your-writes for the HTTP observe endpoint. The
+// batch is applied by the writer goroutine; callers only wait.
+func (e *Engine) ObserveAll(ss []stream.Sample) {
+	sb := syncBatch{samples: ss, done: make(chan struct{})}
+	select {
+	case e.syncCh <- sb:
+		select {
+		case <-sb.done:
+		case <-e.stop:
+			// Writer is shutting down; it may or may not have taken our
+			// batch. Wait for it to exit, then apply inline if needed.
+			e.wg.Wait()
+			select {
+			case <-sb.done:
+			default:
+				e.applyInline(ss)
+			}
+		}
+	case <-e.stop:
+		e.wg.Wait()
+		e.applyInline(ss)
+	}
+}
+
+// Observe applies one observation synchronously (see ObserveAll).
+func (e *Engine) Observe(s stream.Sample) { e.ObserveAll([]stream.Sample{s}) }
+
+// Flush blocks until every sample currently in the ingest queue has been
+// applied and a fresh view published — a write barrier, mainly for tests
+// and orderly shutdown.
+func (e *Engine) Flush() { e.ObserveAll(nil) }
+
+// applyInline is the post-Close fallback: the writer is gone, so mutate
+// under mu directly.
+func (e *Engine) applyInline(ss []stream.Sample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applyLocked(ss)
+	e.publishLocked()
+}
+
+// ---------------------------------------------------------------------------
+// Control operations: serialized with the writer via mu, each force-publishes
+// so their effects are immediately visible to readers.
+
+// ReplaySteps performs up to n replay updates (Algorithm 1's inner loop)
+// and republishes. It returns the number of steps performed.
+func (e *Engine) ReplaySteps(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	done := 0
+	for i := 0; i < n; i++ {
+		if !e.model.ReplayStep() {
+			break
+		}
+		done++
+	}
+	if done > 0 {
+		e.replayed.Add(int64(done))
+		e.sincePublish += done
+		e.publishLocked()
+	}
+	return done
+}
+
+// AdvanceTo moves the model clock forward, expiring old replay samples.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model.AdvanceTo(t)
+}
+
+// RemoveUser forgets a user (churn departure) and republishes so the
+// departure is immediately visible to readers.
+func (e *Engine) RemoveUser(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model.RemoveUser(id)
+	e.publishLocked()
+}
+
+// RemoveService forgets a service and republishes.
+func (e *Engine) RemoveService(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model.RemoveService(id)
+	e.publishLocked()
+}
+
+// SetLearnRate changes the SGD step size for subsequent updates.
+func (e *Engine) SetLearnRate(eta float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model.SetLearnRate(eta)
+}
+
+// Snapshot serializes the current published view. It takes no lock and
+// never stalls the writer — unlike core.Concurrent.Snapshot, which holds
+// the read lock across the full serialization.
+func (e *Engine) Snapshot() ([]byte, error) { return e.View().Snapshot() }
+
+// Restore atomically replaces the model with one reconstructed from a
+// Snapshot and publishes a full rebuilt view. Readers see either the old
+// or the new view, never an intermediate state.
+func (e *Engine) Restore(data []byte) error {
+	m, err := core.Restore(data)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model = m
+	e.publishLocked() // RefreshView detects the swap and fully rebuilds
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Read-side conveniences (all wait-free: one view load + map reads).
+
+// Predict estimates the QoS value from the current view.
+func (e *Engine) Predict(user, service int) (float64, error) {
+	return e.View().Predict(user, service)
+}
+
+// PredictWithConfidence estimates the QoS value and confidence from the
+// current view.
+func (e *Engine) PredictWithConfidence(user, service int) (float64, float64, error) {
+	return e.View().PredictWithConfidence(user, service)
+}
+
+// RankServices ranks candidates against one consistent view.
+func (e *Engine) RankServices(user int, candidates []int, lowerIsBetter bool) ([]core.Ranked, []int) {
+	return e.View().RankServices(user, candidates, lowerIsBetter)
+}
+
+// Updates returns the published view's model update count.
+func (e *Engine) Updates() int64 { return e.View().Updates() }
+
+// NumUsers returns the published view's user count.
+func (e *Engine) NumUsers() int { return e.View().NumUsers() }
+
+// NumServices returns the published view's service count.
+func (e *Engine) NumServices() int { return e.View().NumServices() }
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns accounting counters for the ingest queue and publisher.
+func (e *Engine) Stats() Stats {
+	v := e.View()
+	queued := 0
+	for _, ch := range e.shards {
+		queued += len(ch)
+	}
+	return Stats{
+		Enqueued:  e.enqueued.Load(),
+		Dropped:   e.dropped.Load(),
+		Applied:   e.applied.Load(),
+		Replayed:  e.replayed.Load(),
+		Published: e.published.Load(),
+		QueueLen:  queued,
+		QueueCap:  len(e.shards) * e.cfg.QueueSize,
+		Version:   v.Version(),
+		Updates:   v.Updates(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The writer loop.
+
+func (e *Engine) signal() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.PublishInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			// Final drain so accepted samples make the last view.
+			e.mu.Lock()
+			e.drainLocked()
+			e.publishLocked()
+			e.mu.Unlock()
+			return
+		case sb := <-e.syncCh:
+			e.mu.Lock()
+			e.drainLocked() // queue order: async samples first
+			e.applyLocked(sb.samples)
+			e.replayLocked()
+			e.publishLocked() // force: sync callers get read-your-writes
+			e.mu.Unlock()
+			close(sb.done)
+		case <-e.wake:
+			e.mu.Lock()
+			e.drainLocked()
+			e.replayLocked()
+			e.publishIfDueLocked()
+			e.mu.Unlock()
+		case <-ticker.C:
+			e.mu.Lock()
+			e.drainLocked()
+			e.publishIfDueLocked()
+			e.mu.Unlock()
+		}
+	}
+}
+
+// drainLocked applies queued samples, bounded to one publish quantum (K)
+// per call so a firehose cannot monopolize the writer and starve
+// publication; leftovers re-signal the loop, which publishes between
+// drains via publishIfDueLocked.
+func (e *Engine) drainLocked() {
+	budget := e.cfg.PublishEvery
+	if budget < 64 {
+		budget = 64
+	}
+	for budget > 0 {
+		progress := false
+		for _, ch := range e.shards {
+			for budget > 0 {
+				select {
+				case s := <-ch:
+					e.model.Observe(s)
+					e.applied.Add(1)
+					e.sincePublish++
+					budget--
+					progress = true
+					continue
+				default:
+				}
+				break
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+	// Budget exhausted with samples possibly remaining: come back soon.
+	e.signal()
+}
+
+func (e *Engine) applyLocked(ss []stream.Sample) {
+	for _, s := range ss {
+		e.model.Observe(s)
+	}
+	e.applied.Add(int64(len(ss)))
+	e.sincePublish += len(ss)
+}
+
+func (e *Engine) replayLocked() {
+	n := e.cfg.ReplayPerBatch
+	for i := 0; i < n; i++ {
+		if !e.model.ReplayStep() {
+			return
+		}
+		e.replayed.Add(1)
+		e.sincePublish++
+	}
+}
+
+// publishIfDueLocked republishes when K updates have accumulated or the
+// oldest pending update is older than T.
+func (e *Engine) publishIfDueLocked() {
+	if e.sincePublish == 0 {
+		return
+	}
+	if e.sincePublish >= e.cfg.PublishEvery || time.Since(e.lastPublish) >= e.cfg.PublishInterval {
+		e.publishLocked()
+	}
+}
+
+// publishLocked builds the next view incrementally from the current one
+// and swings the atomic pointer — the RCU publish.
+func (e *Engine) publishLocked() {
+	v := e.model.RefreshView(e.view.Load())
+	e.view.Store(v)
+	e.published.Add(1)
+	e.sincePublish = 0
+	e.lastPublish = time.Now()
+}

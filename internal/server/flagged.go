@@ -41,12 +41,13 @@ func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
 		Users:     []FlaggedEntity{},
 		Services:  []FlaggedEntity{},
 	}
-	for _, f := range s.model.HighErrorUsers(threshold) {
+	view := s.eng.View() // one consistent snapshot for both lists
+	for _, f := range view.HighErrorUsers(threshold) {
 		if info, ok := s.users.Get(f.ID); ok {
 			resp.Users = append(resp.Users, FlaggedEntity{Name: info.Name, Error: f.Error})
 		}
 	}
-	for _, f := range s.model.HighErrorServices(threshold) {
+	for _, f := range view.HighErrorServices(threshold) {
 		if info, ok := s.services.Get(f.ID); ok {
 			resp.Services = append(resp.Services, FlaggedEntity{Name: info.Name, Error: f.Error})
 		}

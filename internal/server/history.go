@@ -34,7 +34,7 @@ func (s *Server) ReplayStore(since time.Duration) int {
 		return 0
 	}
 	window := s.store.Window(since)
-	s.model.ObserveAll(window)
+	s.eng.ObserveAll(window)
 	return len(window)
 }
 

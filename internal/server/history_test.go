@@ -140,7 +140,7 @@ func TestRestartWithStateAndWAL(t *testing.T) {
 		t.Fatalf("replayed %d observations, want 20", n)
 	}
 	// The restarted service can keep learning from its pool.
-	if got := s2.model.ReplaySteps(50); got != 50 {
+	if got := s2.eng.ReplaySteps(50); got != 50 {
 		t.Fatalf("post-restart replay steps = %d", got)
 	}
 	if w := doReq(t, s2, http.MethodGet, "/api/v1/predict?user=u1&service=s1", nil); w.Code != http.StatusOK {

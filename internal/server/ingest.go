@@ -8,8 +8,12 @@ import (
 )
 
 // Ingest implements ingest.Sink: the TCP stream-input path feeds
-// observations through the same registration, storage, and model-update
-// pipeline as the HTTP observe endpoint.
+// observations through the same registration and storage pipeline as
+// the HTTP observe endpoint, but hands the model update to the engine's
+// ingest queue fire-and-forget — the high-rate stream never waits on
+// model math, and visibility is bounded by the engine's publish cadence
+// rather than immediate. If the queue rejects the sample (engine
+// closed), it is applied inline so no accepted observation is lost.
 func (s *Server) Ingest(user, service string, value float64, timestampMs int64) error {
 	if user == "" || service == "" {
 		return fmt.Errorf("server: user and service are required")
@@ -32,7 +36,9 @@ func (s *Server) Ingest(user, service string, value float64, timestampMs int64) 
 			return err
 		}
 	}
-	s.model.Observe(sample)
+	if !s.eng.Enqueue(sample) {
+		s.eng.Observe(sample)
+	}
 	s.metrics.observations.Add(1)
 	return nil
 }

@@ -37,8 +37,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	write("churn_removals_total", s.metrics.churnRemovals.Load())
 	write("model_users", int64(s.users.Len()))
 	write("model_services", int64(s.services.Len()))
-	write("model_updates_total", s.model.Updates())
+	write("model_updates_total", s.eng.Updates())
 	write("uptime_ms", s.now().Sub(s.base).Milliseconds())
+	// Serving-engine health: queue pressure, shed load, publish cadence.
+	st := s.eng.Stats()
+	write("engine_enqueued_total", st.Enqueued)
+	write("engine_dropped_total", st.Dropped)
+	write("engine_applied_total", st.Applied)
+	write("engine_replayed_total", st.Replayed)
+	write("engine_published_total", st.Published)
+	write("engine_queue_len", int64(st.QueueLen))
+	write("engine_queue_cap", int64(st.QueueCap))
+	write("engine_view_version", int64(st.Version))
 	if s.store != nil {
 		write("qosdb_observations", int64(s.store.Len()))
 	}

@@ -8,16 +8,23 @@ import (
 	"time"
 
 	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/registry"
 	"github.com/qoslab/amf/internal/stream"
 )
 
-// Server is the QoS prediction service. Construct with New, mount its
-// Handler on an http.Server, and optionally run RunReplay in a goroutine
-// for continuous background model updating between observations.
+// Server is the QoS prediction service. Construct with New (or
+// NewWithEngine to tune the serving engine), mount its Handler on an
+// http.Server, and optionally run RunReplay in a goroutine for
+// continuous background model updating between observations.
+//
+// All model access goes through an engine.Engine: prediction endpoints
+// read a published immutable view without taking any lock, while
+// observations and control operations are serialized by the engine's
+// single writer. Call Close on shutdown to drain the ingest queue.
 type Server struct {
-	model    *core.Concurrent
+	eng      *engine.Engine
 	users    *registry.Registry
 	services *registry.Registry
 	base     time.Time
@@ -34,10 +41,18 @@ type Server struct {
 	metrics counters
 }
 
-// New creates a prediction service around an AMF model.
+// New creates a prediction service around an AMF model with default
+// engine settings.
 func New(model *core.Model) *Server {
+	return NewWithEngine(engine.New(model, engine.Config{}))
+}
+
+// NewWithEngine creates a prediction service on an explicitly
+// configured serving engine (queue sizing, publish cadence). The server
+// takes ownership: Close shuts the engine down.
+func NewWithEngine(eng *engine.Engine) *Server {
 	s := &Server{
-		model:    core.NewConcurrent(model),
+		eng:      eng,
 		users:    registry.New(),
 		services: registry.New(),
 		now:      time.Now,
@@ -56,6 +71,16 @@ func NewWithClock(model *core.Model, now func() time.Time) *Server {
 	s.base = now()
 	return s
 }
+
+// Close drains the engine's ingest queue and stops its writer. The HTTP
+// handlers keep working afterwards (the engine falls back to inline
+// application), so shutdown sequencing with an http.Server is not
+// order-sensitive.
+func (s *Server) Close() { s.eng.Close() }
+
+// Engine exposes the serving engine (stats, manual flush) for embedders
+// and tests.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -88,8 +113,8 @@ func (s *Server) RunReplay(ctx context.Context, interval time.Duration, batch in
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			s.model.AdvanceTo(s.now().Sub(s.base))
-			s.model.ReplaySteps(batch)
+			s.eng.AdvanceTo(s.now().Sub(s.base))
+			s.eng.ReplaySteps(batch)
 		}
 	}
 }
@@ -169,7 +194,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.model.ObserveAll(samples)
+	// Synchronous apply + republish: the HTTP observe API promises
+	// read-your-writes (a client that uploads a measurement sees it
+	// reflected in the next predict call).
+	s.eng.ObserveAll(samples)
 	resp.Accepted = len(samples)
 	s.metrics.observations.Add(int64(resp.Accepted))
 	writeJSON(w, http.StatusOK, resp)
@@ -200,7 +228,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.countError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	v, conf, err := s.model.PredictWithConfidence(uid, sid)
+	v, conf, err := s.eng.View().PredictWithConfidence(uid, sid)
 	if err != nil {
 		// Registered but never observed (e.g. deregistered from the
 		// model after churn): treat as not found.
@@ -227,11 +255,12 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 	}
 	uid, userKnown := s.users.Lookup(req.User)
 	resp := BatchPredictResponse{User: req.User}
+	view := s.eng.View() // one consistent snapshot for the whole batch
 	for _, name := range req.Services {
 		p := BatchPrediction{Service: name}
 		if userKnown {
 			if sid, ok := s.services.Lookup(name); ok {
-				if v, conf, err := s.model.PredictWithConfidence(uid, sid); err == nil {
+				if v, conf, err := view.PredictWithConfidence(uid, sid); err == nil {
 					p.Value = v
 					p.Confidence = conf
 					p.OK = true
@@ -248,7 +277,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Users:    s.users.Len(),
 		Services: s.services.Len(),
-		Updates:  s.model.Updates(),
+		Updates:  s.eng.Updates(),
 		UptimeMs: s.now().Sub(s.base).Milliseconds(),
 	})
 }
@@ -271,11 +300,11 @@ func infoList(r *registry.Registry) []EntityInfo {
 }
 
 func (s *Server) handleDeleteUser(w http.ResponseWriter, r *http.Request) {
-	s.handleDelete(w, r, s.users, s.model.RemoveUser)
+	s.handleDelete(w, r, s.users, s.eng.RemoveUser)
 }
 
 func (s *Server) handleDeleteService(w http.ResponseWriter, r *http.Request) {
-	s.handleDelete(w, r, s.services, s.model.RemoveService)
+	s.handleDelete(w, r, s.services, s.eng.RemoveService)
 }
 
 // handleDelete implements churn departure: the entity leaves the registry
@@ -296,5 +325,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, reg *regis
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 }
 
-// Snapshot exposes model snapshotting for operational persistence.
-func (s *Server) Snapshot() ([]byte, error) { return s.model.Snapshot() }
+// Snapshot exposes model snapshotting for operational persistence. It
+// serializes the engine's published view, so it never stalls the writer
+// or blocks observations (unlike core.Concurrent.Snapshot, which holds
+// the model read lock for the full serialization).
+func (s *Server) Snapshot() ([]byte, error) { return s.eng.Snapshot() }

@@ -345,7 +345,7 @@ func TestFlaggedEndpoint(t *testing.T) {
 	observeSome(t, s)
 	// Train the existing entities so their trackers fall, then add a raw
 	// newcomer whose tracker is still near 1.
-	s.model.ReplaySteps(2000)
+	s.eng.ReplaySteps(2000)
 	doReq(t, s, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: []Observation{
 		{User: "fresh", Service: "s0", Value: 9},
 	}})

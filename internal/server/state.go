@@ -22,9 +22,10 @@ type persistedState struct {
 
 // SaveState serializes the full service state for persistence across
 // restarts (model factors + registries; the replay pool is transient and
-// deliberately excluded).
+// deliberately excluded). The model bytes come from the engine's
+// published view, so saving state never blocks the update path.
 func (s *Server) SaveState() ([]byte, error) {
-	model, err := s.model.Snapshot()
+	model, err := s.eng.Snapshot()
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +57,7 @@ func (s *Server) LoadState(data []byte) error {
 	if err := services.Restore(st.Services); err != nil {
 		return err
 	}
-	if err := s.model.Restore(st.Model); err != nil {
+	if err := s.eng.Restore(st.Model); err != nil {
 		return err
 	}
 	s.users = users

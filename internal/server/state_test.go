@@ -102,23 +102,23 @@ func TestSnapshotHTTPRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestConcurrentRestoreSwapsModel(t *testing.T) {
+func TestEngineRestoreSwapsModel(t *testing.T) {
 	cfg := core.DefaultConfig(-0.007, 0, 20)
 	cfg.Expiry = 0
 	trained := core.MustNew(cfg)
 	s := New(trained)
 	observeSome(t, s)
-	snap, err := s.model.Snapshot()
+	snap, err := s.eng.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.model.Restore(snap); err != nil {
+	if err := s.eng.Restore(snap); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.model.Restore([]byte("bad")); err == nil {
+	if err := s.eng.Restore([]byte("bad")); err == nil {
 		t.Fatal("bad restore should fail and keep the old model")
 	}
-	if s.model.NumUsers() != 4 {
-		t.Fatalf("model lost state after failed restore: %d users", s.model.NumUsers())
+	if s.eng.NumUsers() != 4 {
+		t.Fatalf("model lost state after failed restore: %d users", s.eng.NumUsers())
 	}
 }
