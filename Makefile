@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
-# plus the race detector over the concurrent internals.
-ci: build vet test
+# plus the race detector over the concurrent internals and the
+# observability smoke check.
+ci: build vet test bench-smoke
 	$(GO) test -race ./internal/...
 
 build:
@@ -28,6 +29,13 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Observability smoke check: vet, the obs package under the race
+# detector, and the instrumentation-overhead benchmark (instrumented
+# predict path must stay within 5% of the uninstrumented one).
+bench-smoke: vet
+	$(GO) test -race ./internal/obs/
+	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
 
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/

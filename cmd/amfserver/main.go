@@ -13,7 +13,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +24,7 @@ import (
 	"github.com/qoslab/amf/internal/dataset"
 	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/ingest"
+	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/server"
 )
@@ -52,8 +52,18 @@ func run(args []string) error {
 		queue       = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
 		publishIvl  = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
 		publishEach = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
+
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, or error")
+		logFormat  = fs.String("log-format", "text", "log format: text or json")
+		pprofFlag  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		metrCompat = fs.Bool("metrics-compat", false, "also expose deprecated metric names (amf_uptime_ms) on /metrics")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -80,14 +90,18 @@ func run(args []string) error {
 		PublishInterval: *publishIvl,
 		PublishEvery:    *publishEach,
 	})
-	svc := server.NewWithEngine(eng)
+	svc := server.NewWithEngine(eng, server.WithLogger(logger))
 	defer svc.Close()
+	svc.MetricsCompat = *metrCompat
+	if *pprofFlag {
+		svc.EnablePprof()
+	}
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
 			if err := svc.LoadState(data); err != nil {
 				return fmt.Errorf("restore state from %s: %w", *state, err)
 			}
-			log.Printf("amfserver: restored state from %s", *state)
+			logger.Info("restored state", "path", *state)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("read state file: %w", err)
 		}
@@ -100,7 +114,7 @@ func run(args []string) error {
 		defer db.Close()
 		svc.SetStore(db)
 		if n := svc.ReplayStore(-1); n > 0 {
-			log.Printf("amfserver: replayed %d observations from %s", n, *wal)
+			logger.Info("replayed observations from WAL", "count", n, "path", *wal)
 		}
 	}
 	httpSrv := &http.Server{
@@ -126,10 +140,10 @@ func run(args []string) error {
 		defer ln.Close()
 		go func() {
 			if err := ln.Serve(ctx); err != nil {
-				log.Printf("amfserver: ingest listener: %v", err)
+				logger.Error("ingest listener failed", "err", err)
 			}
 		}()
-		log.Printf("amfserver: stream ingest on %s", ln.Addr())
+		logger.Info("stream ingest listening", "addr", ln.Addr().String())
 	}
 	go svc.RunReplay(ctx, *replay, *batch)
 	go func() {
@@ -139,8 +153,16 @@ func run(args []string) error {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("amfserver: serving %s predictions on %s (d=%d, eta=%g, beta=%g, alpha=%g)",
-		attr, *addr, cfg.Rank, cfg.LearnRate, cfg.Beta, cfg.Alpha)
+	// Effective config, one structured record: everything an operator
+	// needs to reproduce this process.
+	logger.Info("amfserver starting",
+		"addr", *addr, "attr", attr.String(),
+		"rank", cfg.Rank, "eta", cfg.LearnRate, "beta", cfg.Beta, "alpha", cfg.Alpha,
+		"expiry", *expiry, "replay_interval", *replay, "replay_batch", *batch,
+		"queue", *queue, "publish_interval", *publishIvl, "publish_every", *publishEach,
+		"wal", *wal, "state", *state,
+		"pprof", *pprofFlag, "metrics_compat", *metrCompat,
+		"log_level", *logLevel, "log_format", *logFormat)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -156,7 +178,7 @@ func run(args []string) error {
 		if err := os.WriteFile(*state, data, 0o644); err != nil {
 			return fmt.Errorf("write state file: %w", err)
 		}
-		log.Printf("amfserver: saved state to %s", *state)
+		logger.Info("saved state", "path", *state)
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/stream"
 )
 
@@ -112,6 +113,40 @@ type syncBatch struct {
 	done    chan struct{}
 }
 
+// queued is one ingest-queue entry: the sample plus its enqueue time
+// (UnixNano), so the writer can attribute queue-wait latency on drain.
+type queued struct {
+	s   stream.Sample
+	enq int64
+}
+
+// Metrics is the engine's latency instrumentation: three lock-free
+// log-bucketed histograms (see internal/obs) that the engine always
+// maintains — recording costs a few atomic adds, so there is no off
+// switch. The server registers them for /metrics exposition; embedders
+// can read quantiles directly.
+type Metrics struct {
+	// QueueWait is the time samples spent in the ingest queue between
+	// Enqueue and the writer picking them up (seconds).
+	QueueWait *obs.Histogram
+	// Apply is the per-update model apply latency (seconds). Batches are
+	// timed once and the mean is attributed to each update in the batch
+	// (obs.Histogram.ObserveN), so the writer does not pay two clock
+	// reads per SGD update.
+	Apply *obs.Histogram
+	// Publish is the view refresh+publish latency (seconds): the cost of
+	// recloning dirty shards and swinging the RCU pointer.
+	Publish *obs.Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		QueueWait: obs.NewHistogram(1e-9, 60, 8),
+		Apply:     obs.NewHistogram(1e-9, 60, 8),
+		Publish:   obs.NewHistogram(1e-9, 60, 8),
+	}
+}
+
 // Engine serves a continuously trained AMF model: lock-free reads from a
 // published view, asynchronous single-writer updates. Construct with New,
 // stop with Close.
@@ -130,7 +165,7 @@ type Engine struct {
 	sincePublish int       // model updates since the last publish
 	lastPublish  time.Time // wall time of the last publish
 
-	shards []chan stream.Sample
+	shards []chan queued
 	syncCh chan syncBatch
 	wake   chan struct{}
 	stop   chan struct{}
@@ -142,6 +177,13 @@ type Engine struct {
 	applied   atomic.Int64
 	replayed  atomic.Int64
 	published atomic.Int64
+
+	// Observability (read by scrapers without any lock): latency
+	// histograms plus atomic mirrors of the mu-guarded publish
+	// bookkeeping so Staleness never contends with the writer.
+	metrics         *Metrics
+	pending         atomic.Int64 // updates since the last publish (mirror of sincePublish)
+	lastPublishNano atomic.Int64 // UnixNano of the last publish
 }
 
 // New wraps a model in a serving engine and starts its writer goroutine.
@@ -150,18 +192,20 @@ type Engine struct {
 func New(model *core.Model, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		model:  model,
-		shards: make([]chan stream.Sample, cfg.IngestShards),
-		syncCh: make(chan syncBatch),
-		wake:   make(chan struct{}, 1),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		model:   model,
+		shards:  make([]chan queued, cfg.IngestShards),
+		syncCh:  make(chan syncBatch),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		metrics: newMetrics(),
 	}
 	for i := range e.shards {
-		e.shards[i] = make(chan stream.Sample, cfg.QueueSize)
+		e.shards[i] = make(chan queued, cfg.QueueSize)
 	}
 	e.view.Store(model.BuildView())
 	e.lastPublish = time.Now()
+	e.lastPublishNano.Store(e.lastPublish.UnixNano())
 	e.wg.Add(1)
 	go e.loop()
 	return e
@@ -186,7 +230,7 @@ func (e *Engine) View() *core.PredictView { return e.view.Load() }
 // ---------------------------------------------------------------------------
 // Ingest (async) and observe (sync) write paths.
 
-func (e *Engine) shardFor(user int) chan stream.Sample {
+func (e *Engine) shardFor(user int) chan queued {
 	return e.shards[user&(len(e.shards)-1)]
 }
 
@@ -201,9 +245,10 @@ func (e *Engine) Enqueue(s stream.Sample) bool {
 		return false
 	}
 	ch := e.shardFor(s.User)
+	q := queued{s: s, enq: time.Now().UnixNano()}
 	for tries := 0; ; tries++ {
 		select {
-		case ch <- s:
+		case ch <- q:
 			e.enqueued.Add(1)
 			e.signal()
 			return true
@@ -299,6 +344,7 @@ func (e *Engine) ReplaySteps(n int) int {
 	if done > 0 {
 		e.replayed.Add(int64(done))
 		e.sincePublish += done
+		e.pending.Add(int64(done))
 		e.publishLocked()
 	}
 	return done
@@ -386,6 +432,26 @@ func (e *Engine) NumServices() int { return e.View().NumServices() }
 // Config returns the engine configuration (with defaults applied).
 func (e *Engine) Config() Config { return e.cfg }
 
+// Metrics returns the engine's latency histograms (always maintained;
+// see Metrics). The server registers them on its /metrics registry.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Staleness reports how far behind the published view is: the age of the
+// last publish while model updates are pending, and 0 when the view is
+// current. It reads two atomics and never contends with the writer, so
+// scrapers can poll it freely; under the default publish policy it stays
+// below ~2·PublishInterval.
+func (e *Engine) Staleness() time.Duration {
+	if e.pending.Load() == 0 {
+		return 0
+	}
+	d := time.Duration(time.Now().UnixNano() - e.lastPublishNano.Load())
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // Stats returns accounting counters for the ingest queue and publisher.
 func (e *Engine) Stats() Stats {
 	v := e.View()
@@ -455,21 +521,31 @@ func (e *Engine) loop() {
 // drainLocked applies queued samples, bounded to one publish quantum (K)
 // per call so a firehose cannot monopolize the writer and starve
 // publication; leftovers re-signal the loop, which publishes between
-// drains via publishIfDueLocked.
+// drains via publishIfDueLocked. Queue-wait latency is measured against
+// the drain start (a lower bound for samples drained later in the batch),
+// and the batch apply time is attributed to each update as its mean — one
+// pair of clock reads per drain, not per update.
 func (e *Engine) drainLocked() {
 	budget := e.cfg.PublishEvery
 	if budget < 64 {
 		budget = 64
 	}
+	start := time.Now()
+	startNano := start.UnixNano()
+	drained := 0
 	for budget > 0 {
 		progress := false
 		for _, ch := range e.shards {
 			for budget > 0 {
 				select {
-				case s := <-ch:
-					e.model.Observe(s)
-					e.applied.Add(1)
-					e.sincePublish++
+				case q := <-ch:
+					if wait := startNano - q.enq; wait > 0 {
+						e.metrics.QueueWait.Observe(float64(wait) / 1e9)
+					} else {
+						e.metrics.QueueWait.Observe(0)
+					}
+					e.model.Observe(q.s)
+					drained++
 					budget--
 					progress = true
 					continue
@@ -479,29 +555,56 @@ func (e *Engine) drainLocked() {
 			}
 		}
 		if !progress {
-			return
+			break
 		}
 	}
-	// Budget exhausted with samples possibly remaining: come back soon.
-	e.signal()
+	if drained > 0 {
+		dur := time.Since(start).Seconds()
+		e.metrics.Apply.ObserveN(dur/float64(drained), int64(drained))
+		e.applied.Add(int64(drained))
+		e.sincePublish += drained
+		e.pending.Add(int64(drained))
+	}
+	if budget == 0 {
+		// Budget exhausted with samples possibly remaining: come back soon.
+		e.signal()
+	}
 }
 
 func (e *Engine) applyLocked(ss []stream.Sample) {
+	if len(ss) == 0 {
+		return
+	}
+	start := time.Now()
 	for _, s := range ss {
 		e.model.Observe(s)
 	}
+	dur := time.Since(start).Seconds()
+	e.metrics.Apply.ObserveN(dur/float64(len(ss)), int64(len(ss)))
 	e.applied.Add(int64(len(ss)))
 	e.sincePublish += len(ss)
+	e.pending.Add(int64(len(ss)))
 }
 
 func (e *Engine) replayLocked() {
 	n := e.cfg.ReplayPerBatch
+	if n <= 0 {
+		return
+	}
+	start := time.Now()
+	done := 0
 	for i := 0; i < n; i++ {
 		if !e.model.ReplayStep() {
-			return
+			break
 		}
-		e.replayed.Add(1)
-		e.sincePublish++
+		done++
+	}
+	if done > 0 {
+		dur := time.Since(start).Seconds()
+		e.metrics.Apply.ObserveN(dur/float64(done), int64(done))
+		e.replayed.Add(int64(done))
+		e.sincePublish += done
+		e.pending.Add(int64(done))
 	}
 }
 
@@ -519,9 +622,13 @@ func (e *Engine) publishIfDueLocked() {
 // publishLocked builds the next view incrementally from the current one
 // and swings the atomic pointer — the RCU publish.
 func (e *Engine) publishLocked() {
+	start := time.Now()
 	v := e.model.RefreshView(e.view.Load())
 	e.view.Store(v)
 	e.published.Add(1)
 	e.sincePublish = 0
 	e.lastPublish = time.Now()
+	e.metrics.Publish.Observe(e.lastPublish.Sub(start).Seconds())
+	e.pending.Store(0)
+	e.lastPublishNano.Store(e.lastPublish.UnixNano())
 }

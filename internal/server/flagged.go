@@ -20,7 +20,7 @@ type FlaggedResponse struct {
 }
 
 func (s *Server) flaggedRoutes() {
-	s.mux.HandleFunc("GET /api/v1/flagged", s.handleFlagged)
+	s.handle("GET /api/v1/flagged", s.handleFlagged)
 }
 
 // handleFlagged reports entities with high tracked error — the operator's
@@ -52,5 +52,5 @@ func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
 			resp.Services = append(resp.Services, FlaggedEntity{Name: info.Name, Error: f.Error})
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }

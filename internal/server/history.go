@@ -39,7 +39,7 @@ func (s *Server) ReplayStore(since time.Duration) int {
 }
 
 func (s *Server) historyRoutes() {
-	s.mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+	s.handle("GET /api/v1/history", s.handleHistory)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -93,5 +93,5 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 			OffsetMs: sm.Time.Milliseconds(),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

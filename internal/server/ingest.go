@@ -36,6 +36,9 @@ func (s *Server) Ingest(user, service string, value float64, timestampMs int64) 
 			return err
 		}
 	}
+	// Live accuracy: one lock-free view read scores the sample against
+	// the model's prior prediction before it trains on it.
+	s.scoreSample(sample)
 	if !s.eng.Enqueue(sample) {
 		s.eng.Observe(sample)
 	}

@@ -3,53 +3,28 @@ package server
 import (
 	"fmt"
 	"net/http"
-	"sync/atomic"
 )
 
-// counters holds the service's operational metrics. All fields are
-// manipulated atomically; the zero value is ready to use.
-type counters struct {
-	observations     atomic.Int64 // accepted QoS observations
-	predictions      atomic.Int64 // single predictions served
-	batchPredictions atomic.Int64 // batch prediction entries served
-	notFound         atomic.Int64 // 404 responses (unknown users/services)
-	badRequests      atomic.Int64 // 400-level rejections
-	churnRemovals    atomic.Int64 // users/services deregistered
-}
-
 // metricsRoutes registers the /metrics endpoint; called from routes().
+// The families themselves are built in buildMetrics (obs.go).
 func (s *Server) metricsRoutes() {
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handle("GET /metrics", s.handleMetrics)
 }
 
-// handleMetrics renders the counters plus model gauges in the plain-text
-// exposition format scrapers expect: `name value` lines.
+// handleMetrics renders the full metric catalog in the Prometheus text
+// exposition format: every family carries # HELP and # TYPE headers,
+// counters end in _total, durations are _seconds, and histograms expand
+// into cumulative _bucket/_sum/_count series. The output is validated
+// against the strict in-repo parser (obs.ParseMetrics) by the test suite.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	write := func(name string, v int64) {
-		fmt.Fprintf(w, "amf_%s %d\n", name, v)
-	}
-	write("observations_total", s.metrics.observations.Load())
-	write("predictions_total", s.metrics.predictions.Load())
-	write("batch_predictions_total", s.metrics.batchPredictions.Load())
-	write("not_found_total", s.metrics.notFound.Load())
-	write("bad_requests_total", s.metrics.badRequests.Load())
-	write("churn_removals_total", s.metrics.churnRemovals.Load())
-	write("model_users", int64(s.users.Len()))
-	write("model_services", int64(s.services.Len()))
-	write("model_updates_total", s.eng.Updates())
-	write("uptime_ms", s.now().Sub(s.base).Milliseconds())
-	// Serving-engine health: queue pressure, shed load, publish cadence.
-	st := s.eng.Stats()
-	write("engine_enqueued_total", st.Enqueued)
-	write("engine_dropped_total", st.Dropped)
-	write("engine_applied_total", st.Applied)
-	write("engine_replayed_total", st.Replayed)
-	write("engine_published_total", st.Published)
-	write("engine_queue_len", int64(st.QueueLen))
-	write("engine_queue_cap", int64(st.QueueCap))
-	write("engine_view_version", int64(st.Version))
-	if s.store != nil {
-		write("qosdb_observations", int64(s.store.Len()))
+	s.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+	if s.MetricsCompat {
+		// One release of grace for dashboards still reading the old
+		// names (renamed to amf_uptime_seconds; see CHANGES.md).
+		fmt.Fprintf(w, "# HELP amf_uptime_ms DEPRECATED: use amf_uptime_seconds.\n")
+		fmt.Fprintf(w, "# TYPE amf_uptime_ms gauge\n")
+		fmt.Fprintf(w, "amf_uptime_ms %d\n", s.now().Sub(s.base).Milliseconds())
 	}
 }

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// This file wires the observability layer (internal/obs) through the HTTP
+// service: the metric registry behind /metrics, the per-route middleware,
+// the live accuracy hook on the observe paths, and optional pprof.
+
+// counters holds the service's operational counters, registered on the
+// obs registry at construction.
+type counters struct {
+	observations     *obs.Counter // accepted QoS observations
+	predictions      *obs.Counter // single predictions served
+	batchPredictions *obs.Counter // batch prediction entries served
+	notFound         *obs.Counter // 404 responses (unknown users/services)
+	badRequests      *obs.Counter // 400-level rejections
+	churnRemovals    *obs.Counter // users/services deregistered
+}
+
+// buildMetrics constructs the registry and every metric family the server
+// exports. Called once from NewWithEngine, before routes are registered.
+func (s *Server) buildMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	// Service counters.
+	s.metrics = counters{
+		observations:     r.NewCounter("amf_observations_total", "QoS observations accepted (HTTP observe + TCP ingest)."),
+		predictions:      r.NewCounter("amf_predictions_total", "Single predictions served."),
+		batchPredictions: r.NewCounter("amf_batch_predictions_total", "Batch prediction entries served."),
+		notFound:         r.NewCounter("amf_not_found_total", "404 responses (unknown users/services)."),
+		badRequests:      r.NewCounter("amf_bad_requests_total", "400-level request rejections."),
+		churnRemovals:    r.NewCounter("amf_churn_removals_total", "Users/services deregistered (churn departures)."),
+	}
+
+	// Model gauges.
+	r.GaugeFunc("amf_model_users", "Users currently registered.", func() float64 { return float64(s.users.Len()) })
+	r.GaugeFunc("amf_model_services", "Services currently registered.", func() float64 { return float64(s.services.Len()) })
+	r.CounterFunc("amf_model_updates_total", "SGD updates applied to the model.", s.eng.Updates)
+	r.GaugeFunc("amf_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return s.now().Sub(s.base).Seconds() })
+	r.GaugeFunc("amf_qosdb_observations", "Observations retained in the QoS database (0 without -wal).",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Len())
+		})
+
+	// Serving-engine health: queue pressure, shed load, publish cadence,
+	// and the latency histograms the engine maintains internally.
+	eng := s.eng
+	r.CounterFunc("amf_engine_enqueued_total", "Samples accepted into the ingest queue.",
+		func() int64 { return eng.Stats().Enqueued })
+	r.CounterFunc("amf_engine_dropped_total", "Samples shed under overload (drop-oldest + overflow).",
+		func() int64 { return eng.Stats().Dropped })
+	r.CounterFunc("amf_engine_applied_total", "Samples applied to the model (ingest + sync batches).",
+		func() int64 { return eng.Stats().Applied })
+	r.CounterFunc("amf_engine_replayed_total", "Replay updates performed by or through the engine.",
+		func() int64 { return eng.Stats().Replayed })
+	r.CounterFunc("amf_engine_published_total", "Read views published (RCU pointer swings).",
+		func() int64 { return eng.Stats().Published })
+	r.GaugeFunc("amf_engine_queue_len", "Samples currently queued across all ingest shards.",
+		func() float64 { return float64(eng.Stats().QueueLen) })
+	r.GaugeFunc("amf_engine_queue_cap", "Total ingest queue capacity across all shards.",
+		func() float64 { return float64(eng.Stats().QueueCap) })
+	r.GaugeFunc("amf_engine_view_version", "Version of the currently published read view.",
+		func() float64 { return float64(eng.Stats().Version) })
+	r.GaugeFunc("amf_engine_view_staleness_seconds",
+		"Age of the published view while model updates are pending (0 when current).",
+		func() float64 { return eng.Staleness().Seconds() })
+	em := eng.Metrics()
+	r.RegisterHistogram("amf_engine_queue_wait_seconds",
+		"Time samples spent in the ingest queue before the writer drained them.", em.QueueWait)
+	r.RegisterHistogram("amf_engine_apply_seconds",
+		"Per-update model apply latency (batch mean attributed to each update).", em.Apply)
+	r.RegisterHistogram("amf_engine_publish_seconds",
+		"View refresh+publish latency (dirty-shard reclone plus pointer swing).", em.Publish)
+
+	// HTTP middleware metrics.
+	s.httpHist = r.NewHistogramVec("amf_http_request_duration_seconds",
+		"HTTP request latency by route (1-in-8 sampled, weight-8 attribution).", "route", 1e-6, 60, 8)
+	s.inflight = r.NewGauge("amf_http_requests_in_flight", "HTTP requests currently being served.")
+	statusVec := r.NewCounterVec("amf_http_responses_total", "HTTP responses by status class.", "code")
+	for class := 1; class <= 5; class++ {
+		s.statusClass[class] = statusVec.With(strconv.Itoa(class) + "xx")
+	}
+
+	// Live accuracy: the paper's §V metrics as runtime gauges.
+	s.acc = obs.NewAccuracyTracker(s.eng.View().Config().Beta)
+	s.acc.Register(r, "amf_accuracy")
+}
+
+// Registry exposes the metric registry for embedders that want to add
+// their own families or scrape without HTTP.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Accuracy exposes the live accuracy tracker (MRE/NPRE/EMA of the
+// relative prediction error).
+func (s *Server) Accuracy() *obs.AccuracyTracker { return s.acc }
+
+// scoreSample compares one incoming observation against the model's prior
+// prediction (one lock-free view read) and folds the relative error into
+// the live accuracy tracker.
+func (s *Server) scoreSample(sample stream.Sample) {
+	if !s.instrument {
+		return
+	}
+	if v, err := s.eng.View().Predict(sample.User, sample.Service); err == nil {
+		s.acc.Record(v, sample.Value)
+	} else {
+		s.acc.RecordMiss()
+	}
+}
+
+// scoreSamples scores a batch against one consistent view.
+func (s *Server) scoreSamples(samples []stream.Sample) {
+	if !s.instrument {
+		return
+	}
+	view := s.eng.View()
+	for _, sample := range samples {
+		if v, err := view.Predict(sample.User, sample.Service); err == nil {
+			s.acc.Record(v, sample.Value)
+		} else {
+			s.acc.RecordMiss()
+		}
+	}
+}
+
+// requestIDHeader is spelled in canonical MIME form so Header.Get and
+// direct map assignment skip the per-call canonicalization alloc that
+// "X-Request-ID" would pay. Clients may send either spelling.
+const requestIDHeader = "X-Request-Id"
+
+// latencySampleMask selects which requests are timed: request n (a
+// per-route counter) is sampled when n&mask == 1, i.e. the first
+// request on each route and every 8th thereafter. On virtualized hosts
+// without a vDSO clock fast path, the two clock reads a latency
+// measurement needs cost more than the rest of the middleware combined;
+// 1-in-8 sampling with weight-8 attribution keeps the histograms
+// statistically faithful while amortizing the clock cost to ~1/8 per
+// request. Debug-level request logging forces every request onto the
+// timed path (tracing wants exact per-request durations).
+const latencySampleMask = 7
+
+// handle registers a route through the observability middleware: per-route
+// latency histogram, in-flight gauge, request IDs, and slow-request
+// logging. The amortized fast-path cost is a few atomic adds —
+// BenchmarkPredictPath holds it within 5% of the lock-free predict path.
+// The deliberate fast-path choices that keep it there:
+//
+//   - no ResponseWriter wrapper: status classes are tallied by
+//     writeJSON/countStatus where the status is known, so the handler
+//     keeps the concrete writer and the middleware allocates nothing;
+//   - sampled latency timing (see latencySampleMask): untimed requests
+//     skip both clock reads; timed ones record with the sample weight
+//     so bucket counts still approximate true request totals.
+//     Slow-request detection rides the timed subset — a persistent
+//     slowness regime is still caught within a handful of requests;
+//   - debug request logs are gated on a cached Enabled check (no slog
+//     argument boxing when disabled);
+//   - request-ID handling rides the timed subset, where it has a
+//     consumer: a client-sent ID is echoed and logged on timed
+//     requests (the first and every 8th per route — deterministic for
+//     single-shot probes), one is generated up front when request
+//     logging is enabled (which forces every request onto the timed
+//     path), and slow requests get one after the fact for the warning.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	if !s.instrument {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	hist := s.httpHist.With(pattern)
+	tick := new(atomic.Uint64) // per-route sampling counter
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		timed := tick.Add(1)&latencySampleMask == 1 || s.logDebug
+		var rid string
+		var start time.Time
+		if timed {
+			start = time.Now()
+			// net/http stores parsed request headers under canonical
+			// keys, so a direct map index replaces Header.Get's
+			// canonicalization pass.
+			if vals := r.Header[requestIDHeader]; len(vals) > 0 {
+				rid = vals[0]
+			}
+			if rid == "" && s.logDebug {
+				rid = s.nextRequestID()
+			}
+			if rid != "" {
+				w.Header()[requestIDHeader] = []string{rid}
+			}
+		}
+		s.inflight.Add(1)
+		h(w, r)
+		s.inflight.Add(-1)
+		if !timed {
+			return
+		}
+		d := time.Since(start)
+		hist.ObserveDurationN(d, latencySampleMask+1)
+		switch {
+		case d >= s.slowThreshold:
+			if rid == "" {
+				rid = s.nextRequestID()
+			}
+			s.log.Warn("slow request",
+				"route", pattern, "request_id", rid, "duration", d)
+		case s.logDebug:
+			s.log.Debug("request",
+				"route", pattern, "request_id", rid, "duration", d)
+		}
+	})
+}
+
+// nextRequestID mints a short unique request id: a monotonic counter
+// rendered in base36 ("r1", "r2", … "rzz", …).
+func (s *Server) nextRequestID() string {
+	var buf [14]byte
+	buf[0] = 'r'
+	return string(strconv.AppendUint(buf[:1], s.reqSeq.Add(1), 36))
+}
+
+// EnablePprof mounts net/http/pprof's profiling endpoints under
+// /debug/pprof/ on the service mux (outside the middleware: profile
+// downloads run for seconds by design and would pollute the latency
+// histograms). Call before serving; amfserver wires it to -pprof.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.log.Info("pprof enabled", "path", "/debug/pprof/")
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/engine"
+	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/registry"
 	"github.com/qoslab/amf/internal/stream"
@@ -35,31 +38,88 @@ type Server struct {
 	// hostile requests). Defaults to 10000.
 	MaxBatch int
 
+	// MetricsCompat additionally exposes the pre-rename metric names
+	// (amf_uptime_ms) on /metrics for one release; see CHANGES.md.
+	MetricsCompat bool
+
 	// store is the optional QoS database (see SetStore).
 	store *qosdb.Store
 
-	metrics counters
+	// Observability (see obs.go): the metric registry behind /metrics,
+	// request middleware state, the live accuracy tracker, and the
+	// structured logger. reqSeq numbers requests for log correlation.
+	reg           *obs.Registry
+	metrics       counters
+	httpHist      *obs.HistogramVec
+	inflight      *obs.Gauge
+	statusClass   [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
+	acc           *obs.AccuracyTracker
+	log           *slog.Logger
+	logDebug      bool // cached log.Enabled(debug); refreshed by SetLogger
+	slowThreshold time.Duration
+	instrument    bool
+	reqSeq        atomic.Uint64
+	closed        atomic.Bool
+}
+
+// Option customizes a Server at construction time.
+type Option func(*Server)
+
+// WithLogger sets the structured logger used for request and lifecycle
+// events (default slog.Default()).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithSlowRequestThreshold sets the latency above which a request is
+// logged as slow (default 1s; 0 keeps the default).
+func WithSlowRequestThreshold(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.slowThreshold = d
+		}
+	}
+}
+
+// WithoutInstrumentation disables the HTTP middleware (latency
+// histograms, in-flight gauge, status counters, accuracy tracking).
+// It exists for the overhead benchmark that proves the middleware is
+// within the <5% budget — production servers should not use it.
+func WithoutInstrumentation() Option {
+	return func(s *Server) { s.instrument = false }
 }
 
 // New creates a prediction service around an AMF model with default
 // engine settings.
-func New(model *core.Model) *Server {
-	return NewWithEngine(engine.New(model, engine.Config{}))
+func New(model *core.Model, opts ...Option) *Server {
+	return NewWithEngine(engine.New(model, engine.Config{}), opts...)
 }
 
 // NewWithEngine creates a prediction service on an explicitly
 // configured serving engine (queue sizing, publish cadence). The server
 // takes ownership: Close shuts the engine down.
-func NewWithEngine(eng *engine.Engine) *Server {
+func NewWithEngine(eng *engine.Engine, opts ...Option) *Server {
 	s := &Server{
-		eng:      eng,
-		users:    registry.New(),
-		services: registry.New(),
-		now:      time.Now,
-		MaxBatch: 10000,
+		eng:           eng,
+		users:         registry.New(),
+		services:      registry.New(),
+		now:           time.Now,
+		MaxBatch:      10000,
+		log:           slog.Default(),
+		slowThreshold: time.Second,
+		instrument:    true,
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.logDebug = s.log.Enabled(context.Background(), slog.LevelDebug)
 	s.base = s.now()
 	s.mux = http.NewServeMux()
+	s.buildMetrics()
 	s.routes()
 	return s
 }
@@ -72,11 +132,28 @@ func NewWithClock(model *core.Model, now func() time.Time) *Server {
 	return s
 }
 
+// SetLogger replaces the structured logger (nil is ignored). The
+// debug-enabled check is cached here: per-request debug logging (and
+// with it request-ID minting) is decided once per logger, not per
+// request, so the untraced fast path stays free of slog calls.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+		s.logDebug = l.Enabled(context.Background(), slog.LevelDebug)
+	}
+}
+
 // Close drains the engine's ingest queue and stops its writer. The HTTP
 // handlers keep working afterwards (the engine falls back to inline
 // application), so shutdown sequencing with an http.Server is not
-// order-sensitive.
-func (s *Server) Close() { s.eng.Close() }
+// order-sensitive — but /readyz starts failing so load balancers stop
+// routing new traffic.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.log.Info("server closing", "component", "server")
+	}
+	s.eng.Close()
+}
 
 // Engine exposes the serving engine (stats, manual flush) for embedders
 // and tests.
@@ -86,15 +163,16 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /api/v1/observe", s.handleObserve)
-	s.mux.HandleFunc("GET /api/v1/predict", s.handlePredict)
-	s.mux.HandleFunc("POST /api/v1/predict", s.handleBatchPredict)
-	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/v1/users", s.handleListUsers)
-	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
-	s.mux.HandleFunc("DELETE /api/v1/users", s.handleDeleteUser)
-	s.mux.HandleFunc("DELETE /api/v1/services", s.handleDeleteService)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /readyz", s.handleReady)
+	s.handle("POST /api/v1/observe", s.handleObserve)
+	s.handle("GET /api/v1/predict", s.handlePredict)
+	s.handle("POST /api/v1/predict", s.handleBatchPredict)
+	s.handle("GET /api/v1/stats", s.handleStats)
+	s.handle("GET /api/v1/users", s.handleListUsers)
+	s.handle("GET /api/v1/services", s.handleListServices)
+	s.handle("DELETE /api/v1/users", s.handleDeleteUser)
+	s.handle("DELETE /api/v1/services", s.handleDeleteService)
 	s.stateRoutes()
 	s.historyRoutes()
 	s.metricsRoutes()
@@ -119,14 +197,30 @@ func (s *Server) RunReplay(ctx context.Context, interval time.Duration, batch in
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON renders a JSON response and tallies its status class. The
+// middleware deliberately does not wrap ResponseWriter (the wrapper and
+// its pool were measurable on the predict fast path); counting happens
+// here, where the status is known, and the few handlers that write
+// non-JSON bodies call countStatus themselves.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.countStatus(status)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// countStatus tallies a response in the status-class counters.
+func (s *Server) countStatus(status int) {
+	if !s.instrument {
+		return
+	}
+	if class := status / 100; class >= 1 && class <= 5 {
+		s.statusClass[class].Inc()
+	}
 }
 
 // countError tallies an error response in the metrics and writes it.
@@ -137,11 +231,25 @@ func (s *Server) countError(w http.ResponseWriter, status int, format string, ar
 	case status >= 400 && status < 500:
 		s.metrics.badRequests.Add(1)
 	}
-	writeError(w, status, format, args...)
+	s.writeError(w, status, format, args...)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: it fails once Close has begun so a
+// load balancer drains traffic, and succeeds while a published view is
+// servable (which is always, after New).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.closed.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closing"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{
+		"status":       "ready",
+		"view_version": fmt.Sprint(s.eng.View().Version()),
+	})
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -194,13 +302,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Live accuracy: score each incoming value against the model's prior
+	// prediction before the sample trains it (see obs.AccuracyTracker).
+	s.scoreSamples(samples)
 	// Synchronous apply + republish: the HTTP observe API promises
 	// read-your-writes (a client that uploads a measurement sees it
 	// reflected in the next predict call).
 	s.eng.ObserveAll(samples)
 	resp.Accepted = len(samples)
 	s.metrics.observations.Add(int64(resp.Accepted))
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // resolve maps names to model IDs, distinguishing which side is unknown.
@@ -236,7 +347,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.predictions.Add(1)
-	writeJSON(w, http.StatusOK, PredictResponse{User: user, Service: service, Value: v, Confidence: conf})
+	s.writeJSON(w, http.StatusOK, PredictResponse{User: user, Service: service, Value: v, Confidence: conf})
 }
 
 func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
@@ -270,11 +381,11 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 		resp.Predictions = append(resp.Predictions, p)
 	}
 	s.metrics.batchPredictions.Add(int64(len(resp.Predictions)))
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Users:    s.users.Len(),
 		Services: s.services.Len(),
 		Updates:  s.eng.Updates(),
@@ -283,11 +394,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleListUsers(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, infoList(s.users))
+	s.writeJSON(w, http.StatusOK, infoList(s.users))
 }
 
 func (s *Server) handleListServices(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, infoList(s.services))
+	s.writeJSON(w, http.StatusOK, infoList(s.services))
 }
 
 func infoList(r *registry.Registry) []EntityInfo {
@@ -322,7 +433,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, reg *regis
 	}
 	purge(id)
 	s.metrics.churnRemovals.Add(1)
-	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+	s.writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 }
 
 // Snapshot exposes model snapshotting for operational persistence. It

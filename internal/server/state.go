@@ -67,8 +67,8 @@ func (s *Server) LoadState(data []byte) error {
 
 // stateRoutes registers the snapshot endpoints; called from routes().
 func (s *Server) stateRoutes() {
-	s.mux.HandleFunc("GET /api/v1/snapshot", s.handleGetSnapshot)
-	s.mux.HandleFunc("POST /api/v1/snapshot", s.handlePostSnapshot)
+	s.handle("GET /api/v1/snapshot", s.handleGetSnapshot)
+	s.handle("POST /api/v1/snapshot", s.handlePostSnapshot)
 }
 
 // handleGetSnapshot streams the persisted state (operational backup).
@@ -78,6 +78,7 @@ func (s *Server) handleGetSnapshot(w http.ResponseWriter, _ *http.Request) {
 		s.countError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
+	s.countStatus(http.StatusOK)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(data)
 }
@@ -93,5 +94,5 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.countError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
 }
