@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -31,11 +31,21 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Observability smoke check: vet, the obs package under the race
-# detector, and the instrumentation-overhead benchmark (instrumented
-# predict path must stay within 5% of the uninstrumented one).
+# detector, the instrumentation-overhead benchmark (instrumented predict
+# path must stay within 5% of the uninstrumented one), and quick passes
+# over the ranking fast path's kernels (DotBatch) and top-K selection.
 bench-smoke: vet
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
+	$(GO) test -run=NONE -bench=BenchmarkDotBatch -benchtime=0.2s ./internal/matrix/
+	$(GO) test -run=NONE -bench='BenchmarkTopK/(legacy_rank_sort|heap)/10k' -benchmem -benchtime=0.2s ./internal/core/
+
+# Full ranking fast-path benchmark, archived as machine-readable JSON
+# (BENCH_rank.json) via the benchjson parser. Compare runs across
+# commits with: git diff BENCH_rank.json
+bench-rank:
+	$(GO) test -run=NONE -bench='BenchmarkTopK|BenchmarkPredictBatchView' -benchmem -benchtime=0.5s ./internal/core/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_rank.json
 
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/

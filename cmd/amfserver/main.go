@@ -50,6 +50,7 @@ func run(args []string) error {
 		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
 
 		queue       = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
+		rankPar     = fs.Int("rank-parallel-threshold", 4096, "candidate-set size at which /api/v1/rank fans out across cores (<=0 disables)")
 		publishIvl  = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
 		publishEach = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
 
@@ -93,6 +94,7 @@ func run(args []string) error {
 	svc := server.NewWithEngine(eng, server.WithLogger(logger))
 	defer svc.Close()
 	svc.MetricsCompat = *metrCompat
+	svc.RankParallelThreshold = *rankPar
 	if *pprofFlag {
 		svc.EnablePprof()
 	}
@@ -160,6 +162,7 @@ func run(args []string) error {
 		"rank", cfg.Rank, "eta", cfg.LearnRate, "beta", cfg.Beta, "alpha", cfg.Alpha,
 		"expiry", *expiry, "replay_interval", *replay, "replay_batch", *batch,
 		"queue", *queue, "publish_interval", *publishIvl, "publish_every", *publishEach,
+		"rank_parallel_threshold", *rankPar,
 		"wal", *wal, "state", *state,
 		"pprof", *pprofFlag, "metrics_compat", *metrCompat,
 		"log_level", *logLevel, "log_format", *logFormat)

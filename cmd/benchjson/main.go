@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be archived and
+// diffed across commits (see BENCH_rank.json and `make bench-rank`).
+//
+//	go test -run=NONE -bench=BenchmarkTopK -benchmem ./internal/core/ | benchjson -o BENCH_rank.json
+//
+// Reading from stdin and writing to stdout are the defaults; non-benchmark
+// lines (build noise, PASS/ok trailers) are ignored, while the goos /
+// goarch / pkg / cpu headers are captured as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Document is the archived benchmark run.
+type Document struct {
+	GeneratedAt string            `json:"generated_at"`
+	Meta        map[string]string `json:"meta,omitempty"`
+	Results     []Result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	indent := flag.Bool("indent", true, "pretty-print the JSON")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if *indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Meta:        map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				doc.Meta[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue // malformed or truncated line; skip, don't fail the run
+			}
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkTopK/heap/10k-8   1278   392513 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || ns <= 0 {
+		return Result{}, false
+	}
+	res := Result{
+		// Strip the trailing -GOMAXPROCS suffix for stable names.
+		Name:      trimProcSuffix(fields[0]),
+		Runs:      runs,
+		NsPerOp:   ns,
+		OpsPerSec: 1e9 / ns,
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		val := fields[i]
+		switch fields[i+1] {
+		case "B/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = &n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = &n
+			}
+		case "MB/s":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				res.MBPerSec = f
+			}
+		}
+	}
+	return res, true
+}
+
+// trimProcSuffix removes the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names, keeping subbenchmark paths intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

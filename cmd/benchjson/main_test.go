@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/qoslab/amf/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTopK/legacy_rank_sort/10k-8         	     153	   3878181 ns/op	      88 B/op	       3 allocs/op
+BenchmarkTopK/heap/10k-8                     	    1278	    392513 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDotBatch/rows=10000/batch-8         	    2000	    500000 ns/op	1600.00 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/qoslab/amf/internal/core	10.807s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta["goos"] != "linux" || doc.Meta["cpu"] == "" {
+		t.Fatalf("meta not captured: %v", doc.Meta)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[1]
+	if r.Name != "BenchmarkTopK/heap/10k" {
+		t.Fatalf("proc suffix not trimmed: %q", r.Name)
+	}
+	if r.Runs != 1278 || r.NsPerOp != 392513 {
+		t.Fatalf("numbers: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields: %+v", r)
+	}
+	if got := r.OpsPerSec; got < 2547 || got > 2548 {
+		t.Fatalf("ops/sec = %g", got)
+	}
+	if doc.Results[2].MBPerSec != 1600 {
+		t.Fatalf("MB/s: %+v", doc.Results[2])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 100 ns/op",
+		"BenchmarkX 12 abc ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "sort"
+
+// shardArena is the frozen SoA (structure-of-arrays) image of one view
+// shard: every entity's latent factor vector packed into a single
+// contiguous row-major []float64, with parallel id and error slices. It
+// is built at publish time and immutable afterwards — the shard map's
+// viewEntity.vec fields alias rows of vecs, so map-keyed reads (Predict)
+// and arena scans (TopK, DotBatch) see the same storage.
+//
+// The arena is what makes candidate ranking a streaming problem instead
+// of a pointer chase: ranking n candidates touches n×rank consecutive
+// floats per shard rather than n heap-allocated vectors scattered across
+// the GC heap. Arenas are shared RCU-style across view refreshes exactly
+// like the shard maps — a refresh rebuilds only the arenas of dirty
+// shards and shares the rest with the previous view by pointer.
+type shardArena struct {
+	rank int
+	ids  []int     // entity IDs, ascending (deterministic layout)
+	vecs []float64 // len(ids)*rank; row i is the factor vector of ids[i]
+	errs []float64 // frozen error trackers, parallel to ids
+}
+
+// row returns the factor vector of arena row i as a full-capacity-capped
+// subslice of the contiguous block.
+func (a *shardArena) row(i int) []float64 {
+	lo := i * a.rank
+	hi := lo + a.rank
+	return a.vecs[lo:hi:hi]
+}
+
+// freezeShardFromModel builds one shard's map + arena from live model
+// entities. ids may be in any order; it is sorted in place.
+func freezeShardFromModel(src map[int]*entity, ids []int, rank int) (map[int]viewEntity, *shardArena) {
+	sort.Ints(ids)
+	a := &shardArena{
+		rank: rank,
+		ids:  ids,
+		vecs: make([]float64, len(ids)*rank),
+		errs: make([]float64, len(ids)),
+	}
+	sh := make(map[int]viewEntity, len(ids))
+	for i, id := range ids {
+		e := src[id]
+		row := a.row(i)
+		copy(row, e.vec)
+		a.errs[i] = e.err.Value()
+		sh[id] = viewEntity{vec: row, err: a.errs[i], updates: e.updates}
+	}
+	return sh, a
+}
+
+// rebuildArena repacks shard si's map entries into a fresh arena and
+// re-points every viewEntity.vec at the new contiguous rows. Called by
+// refreshTable after shard-map surgery: cloned entries still alias the
+// previous view's arena and freshly frozen entries own private copies;
+// after rebuild all rows live in one block again. The previous arena is
+// untouched (older views keep reading it).
+func rebuildArena(t *viewTable, si, rank int) {
+	sh := t.shards[si]
+	if len(sh) == 0 {
+		t.arenas[si] = nil
+		return
+	}
+	ids := make([]int, 0, len(sh))
+	for id := range sh {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	a := &shardArena{
+		rank: rank,
+		ids:  ids,
+		vecs: make([]float64, len(ids)*rank),
+		errs: make([]float64, len(ids)),
+	}
+	for i, id := range ids {
+		e := sh[id]
+		row := a.row(i)
+		copy(row, e.vec)
+		a.errs[i] = e.err
+		sh[id] = viewEntity{vec: row, err: e.err, updates: e.updates}
+	}
+	t.arenas[si] = a
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"github.com/qoslab/amf/internal/matrix"
 	"github.com/qoslab/amf/internal/stream"
 	"github.com/qoslab/amf/internal/transform"
 )
@@ -103,13 +104,10 @@ func (m *Model) TrainingError() float64 {
 	return sum / float64(n)
 }
 
-func dot(a, b []float64) float64 {
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
+// dot delegates to the unrolled matrix kernel so every prediction path in
+// core (fit loss, view predicts, ranking) shares one inner-product
+// implementation.
+func dot(a, b []float64) float64 { return matrix.Dot(a, b) }
 
 // forEachLiveSample visits every live replay sample. It compacts the pool
 // first so dead samples are not visited.

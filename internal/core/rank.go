@@ -1,6 +1,11 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/qoslab/amf/internal/matrix"
+	"github.com/qoslab/amf/internal/transform"
+)
 
 // Ranked is one entry of a candidate ranking.
 type Ranked struct {
@@ -14,32 +19,53 @@ type Ranked struct {
 // is the candidate-selection query a service adaptation action issues
 // (paper Sec. III). Candidates without a prediction (unknown service, or
 // unknown user) are omitted; the second result lists them.
+//
+// Ordering is defined on the raw latent score Ui·Sj with ties broken by
+// ascending service ID — the same deterministic order PredictView's
+// ranking fast path uses (see topk.go), so the locked and lock-free
+// paths agree element for element.
 func (m *Model) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
+	u, ok := m.users[user]
+	if !ok {
+		return nil, append(unknown, candidates...)
+	}
+	keys := make([]scored, 0, len(candidates))
 	for _, c := range candidates {
-		v, err := m.Predict(user, c)
-		if err != nil {
+		s, ok := m.services[c]
+		if !ok {
 			unknown = append(unknown, c)
 			continue
 		}
-		ranked = append(ranked, Ranked{Service: c, Value: v})
+		keys = append(keys, scored{service: c, key: matrix.Dot(u.vec, s.vec)})
 	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		if lowerIsBetter {
-			return ranked[i].Value < ranked[j].Value
-		}
-		return ranked[i].Value > ranked[j].Value
-	})
+	sort.Slice(keys, func(i, j int) bool { return betterScored(keys[i], keys[j], lowerIsBetter) })
+	ranked = finishRanked(make([]Ranked, 0, len(keys)), keys, m.tr)
 	return ranked, unknown
 }
 
-// Best returns the top-ranked candidate, or ok=false when none is
-// predictable.
+// Best returns the top-ranked candidate in a single O(n) scan — no sort,
+// no intermediate ranking — or ok=false when none is predictable.
 func (m *Model) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
-	ranked, _ := m.RankServices(user, candidates, lowerIsBetter)
-	if len(ranked) == 0 {
+	u, ok := m.users[user]
+	if !ok {
 		return Ranked{}, false
 	}
-	return ranked[0], true
+	best := scored{}
+	found := false
+	for _, c := range candidates {
+		s, ok := m.services[c]
+		if !ok {
+			continue
+		}
+		cand := scored{service: c, key: matrix.Dot(u.vec, s.vec)}
+		if !found || betterScored(cand, best, lowerIsBetter) {
+			best, found = cand, true
+		}
+	}
+	if !found {
+		return Ranked{}, false
+	}
+	return Ranked{Service: best.service, Value: m.tr.Backward(transform.Sigmoid(best.key))}, true
 }
 
 // Flagged is one entity whose tracked relative error exceeds a threshold.

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"github.com/qoslab/amf/internal/matrix"
+	"github.com/qoslab/amf/internal/transform"
+)
+
+// nan marks "no prediction" entries in PredictBatch output.
+var nan = math.NaN()
+
+// This file is the vectorized candidate-ranking fast path (ISSUE 3): the
+// paper's runtime-adaptation query "rank these n candidate services for
+// user u, best k first" served from a PredictView's frozen factor arenas
+// in O(n + k log k) with zero steady-state allocations.
+//
+// Ordering is defined on the raw latent inner product Ui·Sj (the "key"),
+// not the final transformed value: Sigmoid and Transformer.Backward are
+// both monotone non-decreasing, so ranking by key ranks by predicted
+// value — and the key is strictly finer (Backward's range clamps can
+// collapse distinct keys to equal values). Ties on the key break by
+// ascending service ID, making every ranking deterministic regardless of
+// candidate order. Model.RankServices uses the same key ordering, so the
+// locked and lock-free paths agree element for element. Only the
+// surviving k results pay the Sigmoid+Backward transform.
+
+// scored is one candidate during selection: service ID and raw inner
+// product key.
+type scored struct {
+	service int
+	key     float64
+}
+
+// betterScored reports whether a ranks strictly ahead of b: smaller key
+// first when lowerIsBetter (response time), larger key first otherwise
+// (throughput), ties broken by ascending service ID.
+func betterScored(a, b scored, lowerIsBetter bool) bool {
+	if a.key != b.key {
+		if lowerIsBetter {
+			return a.key < b.key
+		}
+		return a.key > b.key
+	}
+	return a.service < b.service
+}
+
+// rankScratch is the pooled per-ranking working set: the bounded top-k
+// heap and a values buffer for arena-scan batches. Pooled via pointer so
+// the steady-state rank path performs zero allocations after warmup.
+type rankScratch struct {
+	heap []scored
+	vals []float64
+}
+
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+// heapPush inserts c into the bounded worst-at-root heap h (cap k): h's
+// root is the worst element kept so far, so a push on a full heap
+// replaces the root only when c beats it. Returns the updated heap.
+func heapPush(h []scored, c scored, k int, lowerIsBetter bool) []scored {
+	if len(h) < k {
+		h = append(h, c)
+		// Sift up: a parent must be worse than (or equal to) its children.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !betterScored(h[p], h[i], lowerIsBetter) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	if !betterScored(c, h[0], lowerIsBetter) {
+		return h // not better than the worst kept — discard
+	}
+	h[0] = c
+	heapSiftDown(h, 0, lowerIsBetter)
+	return h
+}
+
+// heapSiftDown restores the worst-at-root property from index i.
+func heapSiftDown(h []scored, i int, lowerIsBetter bool) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		w := l // index of the worst child
+		if r := l + 1; r < len(h) && betterScored(h[l], h[r], lowerIsBetter) {
+			w = r
+		}
+		if !betterScored(h[i], h[w], lowerIsBetter) {
+			return // parent already worse than both children
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}
+
+// heapDrain empties h into out[0:len(h)] best-first (heap-sort pop order
+// is worst-first, so positions fill back to front). h is consumed; out
+// may alias h's backing array — each out[i] is written only after the
+// live heap has shrunk past index i.
+func heapDrain(h []scored, out []scored, lowerIsBetter bool) {
+	for i := len(h) - 1; i >= 0; i-- {
+		root := h[0]
+		last := len(h) - 1 // == i
+		h[0] = h[last]
+		h = h[:last]
+		heapSiftDown(h, 0, lowerIsBetter)
+		out[i] = root
+	}
+}
+
+// finish converts best-first scored entries into Ranked values by
+// applying the monotone Sigmoid+Backward transform — paid only for the
+// k survivors, never for the full candidate set.
+func finishRanked(dst []Ranked, sc []scored, tr *transform.Transformer) []Ranked {
+	for _, s := range sc {
+		dst = append(dst, Ranked{Service: s.service, Value: tr.Backward(transform.Sigmoid(s.key))})
+	}
+	return dst
+}
+
+// AppendTopK appends the user's top k candidates (best first) to dst and
+// returns the extended slice plus the number of candidates it could not
+// score (unknown services, or all of them when the user is unknown). It
+// is the allocation-free core of TopK: with dst capacity >= k and a
+// warmed scratch pool the steady-state cost is one map lookup and one
+// unrolled dot per candidate plus O(log k) heap work per admitted
+// candidate — no allocations.
+func (v *PredictView) AppendTopK(dst []Ranked, user int, candidates []int, k int, lowerIsBetter bool) ([]Ranked, int) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return dst, len(candidates)
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if k <= 0 {
+		unknown := 0
+		for _, c := range candidates {
+			if _, ok := v.services.get(c); !ok {
+				unknown++
+			}
+		}
+		return dst, unknown
+	}
+	sc := rankScratchPool.Get().(*rankScratch)
+	h := sc.heap[:0]
+	unknown := 0
+	for _, c := range candidates {
+		s, ok := v.services.get(c)
+		if !ok {
+			unknown++
+			continue
+		}
+		h = heapPush(h, scored{service: c, key: matrix.Dot(u.vec, s.vec)}, k, lowerIsBetter)
+	}
+	dst = drainInto(dst, h, lowerIsBetter, v.tr)
+	sc.heap = h[:0]
+	rankScratchPool.Put(sc)
+	return dst, unknown
+}
+
+// drainInto sorts heap h best-first in place and appends the transformed
+// results to dst.
+func drainInto(dst []Ranked, h []scored, lowerIsBetter bool, tr *transform.Transformer) []Ranked {
+	if len(h) == 0 {
+		return dst
+	}
+	// Drain the heap into its own backing array (safe: see heapDrain).
+	heapDrain(h, h, lowerIsBetter)
+	return finishRanked(dst, h, tr)
+}
+
+// TopK returns the user's best k candidates in rank order plus the list
+// of candidates without a prediction (unknown service — or every
+// candidate, when the user is unknown). It is RankServices for callers
+// that only need the head of the ranking: O(n log k) selection instead of
+// an O(n log n) full sort, with the value transform paid only for the k
+// survivors.
+func (v *PredictView) TopK(user int, candidates []int, k int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
+	if _, ok := v.users.get(user); !ok {
+		return nil, append(unknown, candidates...)
+	}
+	ranked, nUnknown := v.AppendTopK(nil, user, candidates, k, lowerIsBetter)
+	if nUnknown > 0 {
+		unknown = make([]int, 0, nUnknown)
+		for _, c := range candidates {
+			if _, ok := v.services.get(c); !ok {
+				unknown = append(unknown, c)
+			}
+		}
+	}
+	return ranked, unknown
+}
+
+// RankServices is Model.RankServices against the frozen view: every
+// candidate ranked (k = n), unknowns listed separately. Because every
+// prediction reads the same immutable view, a ranking is internally
+// consistent — no mid-ranking model update can reorder it. Ties on the
+// latent score break by ascending service ID (see the file comment), so
+// rankings are deterministic and agree with the Model path.
+func (v *PredictView) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
+	return v.TopK(user, candidates, len(candidates), lowerIsBetter)
+}
+
+// Best returns the top-ranked candidate in a single O(n) scan — no sort,
+// no heap, no allocation — or ok=false when none is predictable.
+func (v *PredictView) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
+	u, ok := v.users.get(user)
+	if !ok {
+		return Ranked{}, false
+	}
+	best := scored{}
+	found := false
+	for _, c := range candidates {
+		s, ok := v.services.get(c)
+		if !ok {
+			continue
+		}
+		cand := scored{service: c, key: matrix.Dot(u.vec, s.vec)}
+		if !found || betterScored(cand, best, lowerIsBetter) {
+			best, found = cand, true
+		}
+	}
+	if !found {
+		return Ranked{}, false
+	}
+	return Ranked{Service: best.service, Value: v.tr.Backward(transform.Sigmoid(best.key))}, true
+}
+
+// PredictBatch fills dst[i] with the predicted QoS value of (user,
+// services[i]) against this single consistent view. dst must have
+// len(services); entries for unknown services are set to NaN (use
+// math.IsNaN to filter). It returns ErrUnknownUser — with dst fully
+// NaN-filled — when the user is unknown. The batch shares one user-vector
+// load and allocates nothing.
+func (v *PredictView) PredictBatch(user int, services []int, dst []float64) error {
+	if len(dst) != len(services) {
+		panic("core: PredictBatch dst length mismatch")
+	}
+	u, ok := v.users.get(user)
+	if !ok {
+		for i := range dst {
+			dst[i] = nan
+		}
+		return ErrUnknownUser
+	}
+	for i, id := range services {
+		s, ok := v.services.get(id)
+		if !ok {
+			dst[i] = nan
+			continue
+		}
+		dst[i] = v.tr.Backward(transform.Sigmoid(matrix.Dot(u.vec, s.vec)))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel arena scans.
+
+// TopKParallel is TopK with the candidate scan fanned out across up to
+// `workers` goroutines, each selecting a local top-k over a contiguous
+// chunk of the candidate list, followed by a final k-way merge. Use it
+// for large candidate sets (the HTTP rank endpoint switches over at a
+// configurable threshold); for small n the goroutine fan-out costs more
+// than it saves and TopK should be called directly. workers <= 1 (or a
+// small candidate set) degrades to the serial TopK.
+func (v *PredictView) TopKParallel(user int, candidates []int, k int, lowerIsBetter bool, workers int) (ranked []Ranked, unknown []int) {
+	if workers > len(candidates)/minParallelChunk {
+		workers = len(candidates) / minParallelChunk
+	}
+	if workers <= 1 {
+		return v.TopK(user, candidates, k, lowerIsBetter)
+	}
+	u, ok := v.users.get(user)
+	if !ok {
+		return nil, append(unknown, candidates...)
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if k <= 0 {
+		_, n := v.AppendTopK(nil, user, candidates, 0, lowerIsBetter)
+		if n > 0 {
+			unknown = v.collectUnknown(candidates, n)
+		}
+		return nil, unknown
+	}
+
+	type partial struct {
+		top     []scored // best-first local selection
+		unknown []int    // in candidate order within the chunk
+	}
+	parts := make([]partial, workers)
+	chunk := (len(candidates) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sc := rankScratchPool.Get().(*rankScratch)
+			h := sc.heap[:0]
+			var unk []int
+			for _, c := range candidates[lo:hi] {
+				s, ok := v.services.get(c)
+				if !ok {
+					unk = append(unk, c)
+					continue
+				}
+				h = heapPush(h, scored{service: c, key: matrix.Dot(u.vec, s.vec)}, k, lowerIsBetter)
+			}
+			top := make([]scored, len(h))
+			heapDrain(h, top, lowerIsBetter)
+			parts[w] = partial{top: top, unknown: unk}
+			sc.heap = h[:0]
+			rankScratchPool.Put(sc)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// k-way merge of the workers' best-first lists: repeatedly take the
+	// best head. k and workers are both small, so the O(k·workers)
+	// selection beats a heap's bookkeeping.
+	heads := make([]int, workers)
+	merged := make([]scored, 0, k)
+	for len(merged) < k {
+		bestW := -1
+		for w := 0; w < workers; w++ {
+			if heads[w] >= len(parts[w].top) {
+				continue
+			}
+			if bestW < 0 || betterScored(parts[w].top[heads[w]], parts[bestW].top[heads[bestW]], lowerIsBetter) {
+				bestW = w
+			}
+		}
+		if bestW < 0 {
+			break
+		}
+		merged = append(merged, parts[bestW].top[heads[bestW]])
+		heads[bestW]++
+	}
+	ranked = finishRanked(make([]Ranked, 0, len(merged)), merged, v.tr)
+	for w := range parts {
+		unknown = append(unknown, parts[w].unknown...)
+	}
+	return ranked, unknown
+}
+
+// minParallelChunk is the minimum number of candidates per worker that
+// justifies a goroutine: below this the spawn+merge overhead dominates
+// the dot products it parallelizes.
+const minParallelChunk = 256
+
+// collectUnknown re-walks candidates collecting the ones absent from the
+// view, preallocated to the known count n.
+func (v *PredictView) collectUnknown(candidates []int, n int) []int {
+	unknown := make([]int, 0, n)
+	for _, c := range candidates {
+		if _, ok := v.services.get(c); !ok {
+			unknown = append(unknown, c)
+		}
+	}
+	return unknown
+}
+
+// TopKAll ranks every service in the view for the user and returns the
+// best k — the "pick me the best replica out of everything we know"
+// query. It never touches the shard maps: each shard's SoA arena is
+// scanned with the GEMV-style DotBatch kernel (one contiguous stream of
+// nServices×rank floats), and only the k survivors are transformed.
+// workers > 1 fans the shard scans across that many goroutines with a
+// final merge; workers <= 1 scans serially. Returns nil when the user is
+// unknown or k <= 0.
+func (v *PredictView) TopKAll(user int, k int, lowerIsBetter bool, workers int) []Ranked {
+	u, ok := v.users.get(user)
+	if !ok || k <= 0 {
+		return nil
+	}
+	if k > v.services.count {
+		k = v.services.count
+	}
+	if k == 0 {
+		return nil
+	}
+	if workers > viewShardCount {
+		workers = viewShardCount
+	}
+	if workers <= 1 || v.services.count < 2*minParallelChunk {
+		sc := rankScratchPool.Get().(*rankScratch)
+		h := sc.heap[:0]
+		vals := sc.vals
+		for si := range v.services.arenas {
+			h, vals = scanArenaTopK(v.services.arenas[si], u.vec, h, vals, k, lowerIsBetter)
+		}
+		out := drainInto(make([]Ranked, 0, len(h)), h, lowerIsBetter, v.tr)
+		sc.heap = h[:0]
+		sc.vals = vals
+		rankScratchPool.Put(sc)
+		return out
+	}
+
+	tops := make([][]scored, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := rankScratchPool.Get().(*rankScratch)
+			h := sc.heap[:0]
+			vals := sc.vals
+			for si := w; si < viewShardCount; si += workers {
+				h, vals = scanArenaTopK(v.services.arenas[si], u.vec, h, vals, k, lowerIsBetter)
+			}
+			top := make([]scored, len(h))
+			heapDrain(h, top, lowerIsBetter)
+			tops[w] = top
+			sc.heap = h[:0]
+			sc.vals = vals
+			rankScratchPool.Put(sc)
+		}(w)
+	}
+	wg.Wait()
+	heads := make([]int, workers)
+	merged := make([]scored, 0, k)
+	for len(merged) < k {
+		bestW := -1
+		for w := 0; w < workers; w++ {
+			if heads[w] >= len(tops[w]) {
+				continue
+			}
+			if bestW < 0 || betterScored(tops[w][heads[w]], tops[bestW][heads[bestW]], lowerIsBetter) {
+				bestW = w
+			}
+		}
+		if bestW < 0 {
+			break
+		}
+		merged = append(merged, tops[bestW][heads[bestW]])
+		heads[bestW]++
+	}
+	return finishRanked(make([]Ranked, 0, len(merged)), merged, v.tr)
+}
+
+// scanArenaTopK streams one shard arena through DotBatch and pushes every
+// row into the bounded heap. vals is the reusable batch buffer; both the
+// (possibly grown) heap and buffer are returned for pooling.
+func scanArenaTopK(a *shardArena, q []float64, h []scored, vals []float64, k int, lowerIsBetter bool) ([]scored, []float64) {
+	if a == nil || len(a.ids) == 0 {
+		return h, vals
+	}
+	if cap(vals) < len(a.ids) {
+		vals = make([]float64, len(a.ids))
+	}
+	vals = vals[:len(a.ids)]
+	matrix.DotBatch(vals, a.vecs, q)
+	for i, key := range vals {
+		h = heapPush(h, scored{service: a.ids[i], key: key}, k, lowerIsBetter)
+	}
+	return h, vals
+}

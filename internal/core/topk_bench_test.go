@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/qoslab/amf/internal/transform"
+)
+
+// Benchmarks for the candidate-ranking fast path (ISSUE 3). The "legacy"
+// series reproduces the pre-change serving path — per-candidate map
+// lookup, naive (non-unrolled) dot product, Sigmoid+Backward transform on
+// EVERY candidate, full O(n log n) sort.Slice, then truncate to k — so
+// before/after numbers come from one binary on one machine. The "topk"
+// series is the shipped path: unrolled dot, bounded heap selection, the
+// transform paid only for the k survivors, pooled scratch (0 allocs/op
+// after warmup).
+//
+//	go test -run=NONE -bench=BenchmarkTopK -benchmem ./internal/core/
+
+func benchView(b *testing.B, nServices int) (*PredictView, []int) {
+	b.Helper()
+	m := topkTestModel(b, nServices)
+	candidates := make([]int, nServices)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	return m.BuildView(), candidates
+}
+
+// legacyDot is the straight-line dot product the pre-change path used.
+func legacyDot(a, bb []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * bb[i]
+	}
+	return s
+}
+
+// legacyRank is the pre-change ranking path, verbatim in structure:
+// transform every candidate, sort everything, keep k.
+func legacyRank(v *PredictView, user int, candidates []int, k int, lowerIsBetter bool, dst []Ranked) []Ranked {
+	u, ok := v.users.get(user)
+	if !ok {
+		return dst[:0]
+	}
+	ranked := dst[:0]
+	for _, c := range candidates {
+		s, ok := v.services.get(c)
+		if !ok {
+			continue
+		}
+		ranked = append(ranked, Ranked{
+			Service: c,
+			Value:   v.tr.Backward(transform.Sigmoid(legacyDot(u.vec, s.vec))),
+		})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if lowerIsBetter {
+			return ranked[i].Value < ranked[j].Value
+		}
+		return ranked[i].Value > ranked[j].Value
+	})
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+func BenchmarkTopK(b *testing.B) {
+	const k = 10
+	for _, n := range []int{1000, 10000, 100000} {
+		v, candidates := benchView(b, n)
+		name := sizeLabel(n)
+
+		b.Run("legacy_rank_sort/"+name, func(b *testing.B) {
+			dst := make([]Ranked, 0, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = legacyRank(v, 0, candidates, k, true, dst)
+			}
+		})
+
+		b.Run("heap/"+name, func(b *testing.B) {
+			dst := make([]Ranked, 0, k)
+			dst, _ = v.AppendTopK(dst[:0], 0, candidates, k, true) // warm pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _ = v.AppendTopK(dst[:0], 0, candidates, k, true)
+			}
+		})
+
+		b.Run("parallel/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.TopKParallel(0, candidates, k, true, 4)
+			}
+		})
+
+		b.Run("full_scan_arena/"+name, func(b *testing.B) {
+			v.TopKAll(0, k, true, 1) // warm pool (vals buffer)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.TopKAll(0, k, true, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatchView measures the batched point-prediction path
+// against per-call Predict on the same view.
+func BenchmarkPredictBatchView(b *testing.B) {
+	v, services := benchView(b, 10000)
+	dst := make([]float64, len(services))
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = v.PredictBatch(0, services, dst)
+		}
+	})
+	b.Run("per_call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range services {
+				dst[0], _ = v.Predict(0, s)
+			}
+		}
+	})
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1000 && n%1000 == 0:
+		return itoaBench(n/1000) + "k"
+	default:
+		return itoaBench(n)
+	}
+}
+
+func itoaBench(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

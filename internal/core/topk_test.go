@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// topkTestModel trains one user against n services so ranking tests have
+// a wide, fully-known candidate universe.
+func topkTestModel(t testing.TB, n int) *Model {
+	t.Helper()
+	cfg := DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	m := MustNew(cfg)
+	for s := 0; s < n; s++ {
+		v := 0.5 + float64((s*7919)%17)
+		m.Observe(stream.Sample{Time: time.Duration(s) * time.Millisecond, User: 0, Service: s, Value: v})
+		if s%3 == 0 { // second user keeps the view multi-user
+			m.Observe(stream.Sample{Time: time.Duration(s) * time.Millisecond, User: 1, Service: s, Value: v / 2})
+		}
+	}
+	return m
+}
+
+func rankedEqual(t *testing.T, what string, got, want []Ranked) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: got %+v, want %+v", what, i, got[i], want[i])
+		}
+	}
+}
+
+func intsEqual(t *testing.T, what string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %v, want %v", what, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: %v, want %v", what, got, want)
+		}
+	}
+}
+
+// TestViewRankingParity is the locked-vs-lock-free agreement contract:
+// Model.RankServices, PredictView.RankServices, and PredictView.TopK with
+// k = n must produce element-for-element identical rankings, in both
+// metric directions, including the unknown list.
+func TestViewRankingParity(t *testing.T) {
+	m := topkTestModel(t, 60)
+	v := m.BuildView()
+	candidates := []int{17, 3, 59, 0, 41, 999, 8, 1000, 25}
+	for _, lower := range []bool{true, false} {
+		mr, mu := m.RankServices(0, candidates, lower)
+		vr, vu := v.RankServices(0, candidates, lower)
+		rankedEqual(t, "view vs model ranked", vr, mr)
+		intsEqual(t, "view vs model unknown", vu, mu)
+		tr, tu := v.TopK(0, candidates, len(candidates), lower)
+		rankedEqual(t, "TopK(n) vs RankServices", tr, vr)
+		intsEqual(t, "TopK(n) unknown", tu, vu)
+	}
+}
+
+// TestTopKIsPrefixOfFullRanking checks the selection property: TopK(k)
+// must equal the first k entries of the full ranking for every k.
+func TestTopKIsPrefixOfFullRanking(t *testing.T) {
+	m := topkTestModel(t, 40)
+	v := m.BuildView()
+	candidates := make([]int, 40)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	for _, lower := range []bool{true, false} {
+		full, _ := v.RankServices(0, candidates, lower)
+		for k := 1; k <= len(candidates); k += 7 {
+			got, _ := v.TopK(0, candidates, k, lower)
+			rankedEqual(t, "TopK prefix", got, full[:k])
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	m := topkTestModel(t, 10)
+	v := m.BuildView()
+	candidates := []int{0, 1, 2, 3, 4}
+
+	// k > n clamps to n.
+	got, _ := v.TopK(0, candidates, 50, true)
+	full, _ := v.RankServices(0, candidates, true)
+	rankedEqual(t, "k>n", got, full)
+
+	// k <= 0 ranks nothing but still reports unknowns.
+	got, unknown := v.TopK(0, []int{0, 99, 1}, 0, true)
+	if len(got) != 0 {
+		t.Fatalf("k=0 ranked %v", got)
+	}
+	intsEqual(t, "k=0 unknown", unknown, []int{99})
+
+	// Unknown user: every candidate is unknown, nothing ranked.
+	got, unknown = v.TopK(777, candidates, 3, true)
+	if len(got) != 0 {
+		t.Fatalf("unknown user ranked %v", got)
+	}
+	intsEqual(t, "unknown user", unknown, candidates)
+
+	// Empty candidate list.
+	got, unknown = v.TopK(0, nil, 3, true)
+	if len(got) != 0 || len(unknown) != 0 {
+		t.Fatalf("empty candidates: %v / %v", got, unknown)
+	}
+
+	// Duplicate candidates are ranked once each (they are distinct list
+	// entries) and stay adjacent under the ID tie-break.
+	got, _ = v.TopK(0, []int{3, 3, 1}, 3, true)
+	if len(got) != 3 {
+		t.Fatalf("duplicates collapsed: %v", got)
+	}
+	dup := 0
+	for _, r := range got {
+		if r.Service == 3 {
+			dup++
+		}
+	}
+	if dup != 2 {
+		t.Fatalf("expected service 3 twice, got %v", got)
+	}
+}
+
+// TestRankingTieBreakDeterministic forces exact key ties by aliasing
+// factor vectors and checks both paths order ties by ascending service ID
+// regardless of candidate order.
+func TestRankingTieBreakDeterministic(t *testing.T) {
+	m := topkTestModel(t, 12)
+	// Make services 2, 5, 9 latent-identical: exact dot-product ties.
+	base := m.services[2].vec
+	for _, id := range []int{5, 9} {
+		copy(m.services[id].vec, base)
+	}
+	v := m.BuildView()
+	for _, lower := range []bool{true, false} {
+		a, _ := v.TopK(0, []int{9, 2, 5}, 3, lower)
+		b, _ := v.TopK(0, []int{5, 9, 2}, 3, lower)
+		rankedEqual(t, "tie order independent of candidate order", a, b)
+		intsEqual(t, "ties ascend by ID",
+			[]int{a[0].Service, a[1].Service, a[2].Service}, []int{2, 5, 9})
+		mr, _ := m.RankServices(0, []int{9, 5, 2}, lower)
+		rankedEqual(t, "model agrees on ties", mr, a)
+	}
+}
+
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	const n = 2000 // > workers*minParallelChunk so the fan-out engages
+	m := topkTestModel(t, n)
+	v := m.BuildView()
+	candidates := make([]int, 0, n+3)
+	for i := 0; i < n; i++ {
+		candidates = append(candidates, i)
+		if i%500 == 0 {
+			candidates = append(candidates, n+i) // sprinkle unknowns
+		}
+	}
+	for _, lower := range []bool{true, false} {
+		for _, k := range []int{1, 10, 257, len(candidates)} {
+			sr, su := v.TopK(0, candidates, k, lower)
+			pr, pu := v.TopKParallel(0, candidates, k, lower, 4)
+			rankedEqual(t, "parallel vs serial ranked", pr, sr)
+			intsEqual(t, "parallel vs serial unknown", pu, su)
+		}
+	}
+	// Degenerate worker counts fall back to serial.
+	sr, _ := v.TopK(0, candidates, 10, true)
+	for _, w := range []int{0, 1, 10_000} {
+		pr, _ := v.TopKParallel(0, candidates, 10, true, w)
+		rankedEqual(t, "degenerate workers", pr, sr)
+	}
+	// Unknown user through the parallel path.
+	if r, u := v.TopKParallel(777, candidates, 10, true, 4); len(r) != 0 || len(u) != len(candidates) {
+		t.Fatalf("unknown user parallel: %d ranked, %d unknown", len(r), len(u))
+	}
+}
+
+func TestTopKAllMatchesExplicitCandidates(t *testing.T) {
+	const n = 1500
+	m := topkTestModel(t, n)
+	v := m.BuildView()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	for _, lower := range []bool{true, false} {
+		for _, k := range []int{1, 10, n} {
+			want, _ := v.TopK(0, all, k, lower)
+			for _, w := range []int{1, 4} {
+				got := v.TopKAll(0, k, lower, w)
+				rankedEqual(t, "TopKAll", got, want)
+			}
+		}
+	}
+	if v.TopKAll(777, 5, true, 1) != nil {
+		t.Fatal("unknown user should rank nothing")
+	}
+	if v.TopKAll(0, 0, true, 1) != nil {
+		t.Fatal("k=0 should rank nothing")
+	}
+}
+
+func TestViewBestMatchesTopK(t *testing.T) {
+	m := topkTestModel(t, 30)
+	v := m.BuildView()
+	candidates := []int{11, 4, 27, 0, 999}
+	for _, lower := range []bool{true, false} {
+		top, _ := v.TopK(0, candidates, 1, lower)
+		best, ok := v.Best(0, candidates, lower)
+		if !ok || best != top[0] {
+			t.Fatalf("Best %+v/%v, TopK[0] %+v", best, ok, top[0])
+		}
+		mbest, mok := m.Best(0, candidates, lower)
+		if !mok || mbest != best {
+			t.Fatalf("model Best %+v, view Best %+v", mbest, best)
+		}
+	}
+	if _, ok := v.Best(777, candidates, true); ok {
+		t.Fatal("unknown user has no best")
+	}
+	if _, ok := v.Best(0, []int{999}, true); ok {
+		t.Fatal("all-unknown candidates have no best")
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := topkTestModel(t, 20)
+	v := m.BuildView()
+	services := []int{0, 5, 999, 12}
+	dst := make([]float64, len(services))
+	if err := v.PredictBatch(0, services, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range services {
+		want, err := v.Predict(0, id)
+		if err != nil {
+			if !math.IsNaN(dst[i]) {
+				t.Fatalf("dst[%d]=%g for unknown service %d, want NaN", i, dst[i], id)
+			}
+			continue
+		}
+		if dst[i] != want {
+			t.Fatalf("dst[%d]=%g, Predict=%g", i, dst[i], want)
+		}
+	}
+	// Unknown user: ErrUnknownUser and a fully NaN-filled dst.
+	if err := v.PredictBatch(777, services, dst); err != ErrUnknownUser {
+		t.Fatalf("unknown user err = %v", err)
+	}
+	for i := range dst {
+		if !math.IsNaN(dst[i]) {
+			t.Fatalf("dst[%d]=%g after unknown user, want NaN", i, dst[i])
+		}
+	}
+	// Shape mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dst length mismatch")
+		}
+	}()
+	v.PredictBatch(0, services, make([]float64, 1))
+}
+
+// TestAppendTopKZeroAlloc pins the ISSUE's allocation budget: with a
+// warmed scratch pool and a reused dst, the steady-state ranking path
+// must not allocate.
+func TestAppendTopKZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts, so the zero-alloc pin cannot hold")
+	}
+	m := topkTestModel(t, 512)
+	v := m.BuildView()
+	candidates := make([]int, 512)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	dst := make([]Ranked, 0, 10)
+	// Warm the pool and dst.
+	dst, _ = v.AppendTopK(dst[:0], 0, candidates, 10, true)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, _ = v.AppendTopK(dst[:0], 0, candidates, 10, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTopK allocates %v per run, want 0", allocs)
+	}
+	if len(dst) != 10 {
+		t.Fatalf("ranked %d, want 10", len(dst))
+	}
+}
+
+// TestArenaAliasesViewEntities verifies the SoA arena invariant: every
+// shard map entry's vector aliases its arena row (same backing array), on
+// both fresh builds and incremental refreshes.
+func TestArenaAliasesViewEntities(t *testing.T) {
+	m := topkTestModel(t, 100)
+	v := m.BuildView()
+	checkAlias := func(v *PredictView, when string) {
+		t.Helper()
+		total := 0
+		for si, a := range v.services.arenas {
+			if a == nil {
+				if len(v.services.shards[si]) != 0 {
+					t.Fatalf("%s: shard %d has %d entries but nil arena", when, si, len(v.services.shards[si]))
+				}
+				continue
+			}
+			if len(a.vecs) != len(a.ids)*a.rank || len(a.errs) != len(a.ids) {
+				t.Fatalf("%s: shard %d arena shape ids=%d vecs=%d errs=%d rank=%d",
+					when, si, len(a.ids), len(a.vecs), len(a.errs), a.rank)
+			}
+			for i, id := range a.ids {
+				e, ok := v.services.shards[si][id]
+				if !ok {
+					t.Fatalf("%s: arena id %d missing from shard map %d", when, id, si)
+				}
+				row := a.row(i)
+				if &e.vec[0] != &row[0] {
+					t.Fatalf("%s: service %d vec does not alias its arena row", when, id)
+				}
+				if e.err != a.errs[i] {
+					t.Fatalf("%s: service %d err %g, arena %g", when, id, e.err, a.errs[i])
+				}
+			}
+			total += len(a.ids)
+		}
+		if total != v.services.count {
+			t.Fatalf("%s: arenas hold %d services, view %d", when, total, v.services.count)
+		}
+	}
+	checkAlias(v, "fresh build")
+
+	// Dirty a few services and one removal, then refresh: rebuilt shards
+	// must re-establish the invariant; clean shards share the old arena.
+	m.Observe(stream.Sample{User: 0, Service: 3, Value: 2})
+	m.RemoveService(7)
+	v2 := m.RefreshView(v)
+	checkAlias(v2, "after refresh")
+	cleanShard := -1
+	for si := range v.services.arenas {
+		if v.services.arenas[si] != nil && v.services.arenas[si] == v2.services.arenas[si] {
+			cleanShard = si
+			break
+		}
+	}
+	if cleanShard < 0 {
+		t.Fatal("no clean shard shares its arena across the refresh")
+	}
+}

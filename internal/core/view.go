@@ -28,11 +28,15 @@ type viewEntity struct {
 }
 
 // viewTable is one side (users or services) of a PredictView: a fixed
-// array of hash shards. The array itself is copied per refresh (64
-// pointers); individual shard maps are shared between consecutive views
-// unless dirty.
+// array of hash shards plus one frozen SoA factor arena per shard (see
+// arena.go). The arrays themselves are copied per refresh (64 pointers
+// each); individual shard maps and arenas are shared between consecutive
+// views unless dirty. Each shard map's viewEntity.vec aliases a row of
+// the shard's arena, so point lookups and contiguous scans read the same
+// immutable storage.
 type viewTable struct {
 	shards [viewShardCount]map[int]viewEntity
+	arenas [viewShardCount]*shardArena
 	count  int
 }
 
@@ -133,19 +137,22 @@ func (m *Model) BuildView() *PredictView {
 		version: 1,
 		owner:   m,
 	}
-	buildTable(&v.users, m.users)
-	buildTable(&v.services, m.services)
+	buildTable(&v.users, m.users, m.cfg.Rank)
+	buildTable(&v.services, m.services, m.cfg.Rank)
 	return v
 }
 
-func buildTable(dst *viewTable, src map[int]*entity) {
-	for id, e := range src {
-		sh := dst.shards[shardOf(id)]
-		if sh == nil {
-			sh = make(map[int]viewEntity)
-			dst.shards[shardOf(id)] = sh
+func buildTable(dst *viewTable, src map[int]*entity, rank int) {
+	var byShard [viewShardCount][]int
+	for id := range src {
+		si := shardOf(id)
+		byShard[si] = append(byShard[si], id)
+	}
+	for si, ids := range byShard {
+		if len(ids) == 0 {
+			continue
 		}
-		sh[id] = freezeEntity(e)
+		dst.shards[si], dst.arenas[si] = freezeShardFromModel(src, ids, rank)
 	}
 	dst.count = len(src)
 }
@@ -181,15 +188,18 @@ func (m *Model) RefreshView(prev *PredictView) *PredictView {
 		version:  prev.version + 1,
 		owner:    m,
 	}
-	refreshTable(&v.users, m.users, m.dirtyUsers)
-	refreshTable(&v.services, m.services, m.dirtyServices)
+	refreshTable(&v.users, m.users, m.dirtyUsers, m.cfg.Rank)
+	refreshTable(&v.services, m.services, m.dirtyServices, m.cfg.Rank)
 	m.clearDirty()
 	return v
 }
 
 // refreshTable replaces the dirty shards of dst (currently aliasing the
-// previous view's shards) with fresh clones reflecting src.
-func refreshTable(dst *viewTable, src map[int]*entity, dirty map[int]struct{}) {
+// previous view's shards) with fresh clones reflecting src, then repacks
+// each cloned shard's factor vectors into a fresh contiguous arena.
+// Untouched shards keep sharing both map and arena with the previous
+// view.
+func refreshTable(dst *viewTable, src map[int]*entity, dirty map[int]struct{}, rank int) {
 	if len(dirty) == 0 {
 		return
 	}
@@ -211,6 +221,9 @@ func refreshTable(dst *viewTable, src map[int]*entity, dirty map[int]struct{}) {
 		} else {
 			delete(sh, id) // removed entity (churn departure)
 		}
+	}
+	for si := range cloned {
+		rebuildArena(dst, si, rank)
 	}
 	dst.recount()
 }
@@ -298,42 +311,8 @@ func (v *PredictView) ServiceError(id int) (float64, bool) {
 	return e.err, ok
 }
 
-// RankServices is Model.RankServices against the frozen view: candidates
-// sorted by predicted value, unknowns listed separately. Because every
-// prediction reads the same immutable view, a ranking is internally
-// consistent — no mid-ranking model update can reorder it.
-func (v *PredictView) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
-	u, ok := v.users.get(user)
-	if !ok {
-		return nil, append(unknown, candidates...)
-	}
-	for _, c := range candidates {
-		s, ok := v.services.get(c)
-		if !ok {
-			unknown = append(unknown, c)
-			continue
-		}
-		g := transform.Sigmoid(dot(u.vec, s.vec))
-		ranked = append(ranked, Ranked{Service: c, Value: v.tr.Backward(g)})
-	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		if lowerIsBetter {
-			return ranked[i].Value < ranked[j].Value
-		}
-		return ranked[i].Value > ranked[j].Value
-	})
-	return ranked, unknown
-}
-
-// Best returns the top-ranked candidate, or ok=false when none is
-// predictable.
-func (v *PredictView) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
-	ranked, _ := v.RankServices(user, candidates, lowerIsBetter)
-	if len(ranked) == 0 {
-		return Ranked{}, false
-	}
-	return ranked[0], true
-}
+// RankServices, Best, TopK, PredictBatch and the parallel arena scans
+// live in topk.go (the vectorized candidate-ranking fast path).
 
 // HighErrorUsers returns users whose frozen tracked error is at or above
 // threshold, worst first (see Model.HighErrorUsers).

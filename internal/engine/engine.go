@@ -420,6 +420,25 @@ func (e *Engine) RankServices(user int, candidates []int, lowerIsBetter bool) ([
 	return e.View().RankServices(user, candidates, lowerIsBetter)
 }
 
+// TopK returns the best k candidates against one consistent view using
+// the bounded-heap arena fast path (O(n log k), zero steady-state
+// allocations — see core.PredictView.TopK).
+func (e *Engine) TopK(user int, candidates []int, k int, lowerIsBetter bool) ([]core.Ranked, []int) {
+	return e.View().TopK(user, candidates, k, lowerIsBetter)
+}
+
+// TopKAll ranks every known service for the user via contiguous arena
+// scans (DotBatch), fanning across workers goroutines when workers > 1.
+func (e *Engine) TopKAll(user int, k int, lowerIsBetter bool, workers int) []core.Ranked {
+	return e.View().TopKAll(user, k, lowerIsBetter, workers)
+}
+
+// Best returns the single top candidate in one O(n) scan of the current
+// view.
+func (e *Engine) Best(user int, candidates []int, lowerIsBetter bool) (core.Ranked, bool) {
+	return e.View().Best(user, candidates, lowerIsBetter)
+}
+
 // Updates returns the published view's model update count.
 func (e *Engine) Updates() int64 { return e.View().Updates() }
 

@@ -1,0 +1,84 @@
+package matrix
+
+import "fmt"
+
+// This file holds the vectorized inner-product kernels behind the
+// candidate-ranking fast path (ISSUE 3). The paper's runtime-adaptation
+// query — "rank these n candidate services for user u" — reduces to n
+// inner products of one query vector (the user's latent factors) against
+// n service factor rows. At serving scale that is a memory-bandwidth
+// problem, not a FLOP problem, so the kernels are written for the memory
+// system:
+//
+//   - Dot is 4-way unrolled with four independent accumulators, breaking
+//     the loop-carried dependence on a single sum so the FP adds pipeline
+//     (the naive loop serializes on one accumulator, one FMA latency per
+//     element).
+//   - DotBatch / MulVecTo stream a contiguous row-major block of factor
+//     rows past one query vector that stays resident in registers/L1:
+//     the hardware prefetcher sees a single sequential stream instead of
+//     the pointer-chase of per-entity heap slices.
+//
+// Unrolling reassociates the summation (s0+s2)+(s1+s3) instead of
+// (((s0+s1)+s2)+s3 element order), so results can differ from the naive
+// loop by a few ULPs; FuzzDotKernels bounds the difference by the
+// standard n·eps condition-number envelope.
+
+// Dot4 is the unrolled inner-product kernel shared by Dot and DotBatch.
+// It assumes len(b) >= len(a) and reads exactly len(a) elements of each;
+// callers are responsible for length checking.
+func dot4(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n] // one bounds check here, none in the loops below
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// DotBatch computes dst[i] = block[i*k : (i+1)*k] · q for every i, where
+// k = len(q): many inner products of one query vector against a
+// contiguous row-major block of len(dst) rows. This is the GEMV-style
+// kernel the ranking fast path runs over a PredictView's frozen factor
+// arena — the block streams through the cache once while q stays hot.
+//
+// It panics if len(block) != len(dst)*len(q). A zero-length q zeroes dst.
+func DotBatch(dst, block, q []float64) {
+	k := len(q)
+	if len(block) != len(dst)*k {
+		panic(fmt.Sprintf("matrix: DotBatch block length %d != rows %d x rank %d", len(block), len(dst), k))
+	}
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	off := 0
+	for i := range dst {
+		dst[i] = dot4(block[off:off+k], q)
+		off += k
+	}
+}
+
+// MulVecTo computes dst = m · q (one inner product per row) without
+// allocating, writing row i's product to dst[i]. It panics when dst or q
+// disagree with the matrix shape.
+func (m *Dense) MulVecTo(dst, q []float64) {
+	if len(q) != m.cols {
+		panic(fmt.Sprintf("matrix: MulVecTo vector length %d != cols %d", len(q), m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecTo dst length %d != rows %d", len(dst), m.rows))
+	}
+	DotBatch(dst, m.data, q)
+}

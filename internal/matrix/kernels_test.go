@@ -1,0 +1,262 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dotNaive is the reference scalar loop the unrolled kernel must agree
+// with (Dot's implementation before the ranking fast path).
+func dotNaive(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// ulpBound returns an error envelope for comparing two floating-point
+// summations of the same n products that differ only in association
+// order: c·n·eps·Σ|a_i·b_i|, the standard worst-case bound (with a small
+// constant of safety). For well-conditioned inputs this is within a few
+// ULPs of the result.
+func ulpBound(a, b []float64) float64 {
+	var mag float64
+	for i := range a {
+		mag += math.Abs(a[i] * b[i])
+	}
+	const eps = 2.220446049250313e-16 // 2^-52
+	n := float64(len(a)) + 4
+	bound := 4 * n * eps * mag
+	if bound < eps {
+		bound = eps
+	}
+	return bound
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n <= 67; n++ {
+		a, b := randVec(rng, n), randVec(rng, n)
+		got, want := Dot(a, b), dotNaive(a, b)
+		if diff := math.Abs(got - want); diff > ulpBound(a, b) {
+			t.Fatalf("n=%d: Dot=%g naive=%g diff=%g > bound=%g", n, got, want, diff, ulpBound(a, b))
+		}
+	}
+}
+
+func TestDotAMFRanksExact(t *testing.T) {
+	// At the configured AMF ranks the entries are O(1/sqrt(rank)); the
+	// reassociated sum must stay within the ULP envelope for every rank
+	// the model actually runs at.
+	rng := rand.New(rand.NewSource(7))
+	for _, rank := range []int{8, 10, 16} {
+		for trial := 0; trial < 200; trial++ {
+			a, b := randVec(rng, rank), randVec(rng, rank)
+			scale := 1 / math.Sqrt(float64(rank))
+			for i := range a {
+				a[i] *= scale
+				b[i] *= scale
+			}
+			got, want := Dot(a, b), dotNaive(a, b)
+			if diff := math.Abs(got - want); diff > ulpBound(a, b) {
+				t.Fatalf("rank=%d: diff %g exceeds ULP bound %g", rank, diff, ulpBound(a, b))
+			}
+		}
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestDotBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range []struct{ rows, k int }{{0, 5}, {1, 1}, {3, 0}, {7, 10}, {64, 16}, {100, 3}} {
+		q := randVec(rng, shape.k)
+		block := randVec(rng, shape.rows*shape.k)
+		dst := make([]float64, shape.rows)
+		for i := range dst {
+			dst[i] = math.NaN() // must be overwritten
+		}
+		DotBatch(dst, block, q)
+		for i := 0; i < shape.rows; i++ {
+			row := block[i*shape.k : (i+1)*shape.k]
+			want := dotNaive(row, q)
+			if diff := math.Abs(dst[i] - want); diff > ulpBound(row, q) {
+				t.Fatalf("rows=%d k=%d row %d: got %g want %g", shape.rows, shape.k, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestDotBatchPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DotBatch(make([]float64, 2), make([]float64, 5), make([]float64, 3))
+}
+
+func TestMulVecTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewDense(13, 6)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	q := randVec(rng, 6)
+	dst := make([]float64, 13)
+	m.MulVecTo(dst, q)
+	for i := 0; i < m.Rows(); i++ {
+		want := dotNaive(m.Row(i), q)
+		if diff := math.Abs(dst[i] - want); diff > ulpBound(m.Row(i), q) {
+			t.Fatalf("row %d: got %g want %g", i, dst[i], want)
+		}
+	}
+}
+
+func TestMulVecToPanics(t *testing.T) {
+	m := NewDense(2, 3)
+	for _, tc := range []struct{ dst, q int }{{2, 2}, {1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("dst=%d q=%d: expected panic", tc.dst, tc.q)
+				}
+			}()
+			m.MulVecTo(make([]float64, tc.dst), make([]float64, tc.q))
+		}()
+	}
+}
+
+// FuzzDotKernels drives the unrolled kernels against the naive loop with
+// arbitrary bit patterns, bounding the difference by the reassociation
+// ULP envelope (finite inputs only; NaN/Inf propagate in both and are
+// not comparable).
+func FuzzDotKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(make([]byte, 160))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 16 // 8 bytes per float, two vectors
+		if n == 0 {
+			return
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:]))
+			b[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+			// Clamp to a sane magnitude so the products and the bound
+			// stay finite; the kernel's arithmetic is identical across
+			// magnitudes.
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.Abs(a[i]) > 1e100 {
+				a[i] = 1
+			}
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) || math.Abs(b[i]) > 1e100 {
+				b[i] = 1
+			}
+		}
+		want := dotNaive(a, b)
+		got := Dot(a, b)
+		if diff := math.Abs(got - want); diff > ulpBound(a, b) {
+			t.Fatalf("n=%d: Dot=%g naive=%g diff=%g bound=%g", n, got, want, diff, ulpBound(a, b))
+		}
+		dst := make([]float64, 1)
+		DotBatch(dst, a, b)
+		if dst[0] != got {
+			t.Fatalf("DotBatch single row %g != Dot %g", dst[0], got)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks: the unrolled kernel must be no slower than the naive loop at
+// the configured AMF ranks (8/10/16), and DotBatch must beat per-row Dot
+// calls on a contiguous block.
+
+var sinkF float64
+
+func benchVecs(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	return randVec(rng, n), randVec(rng, n)
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, rank := range []int{8, 10, 16, 64} {
+		a, q := benchVecs(rank)
+		b.Run("unrolled/rank="+itoa(rank), func(b *testing.B) {
+			b.ReportAllocs()
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += Dot(a, q)
+			}
+			sinkF = s
+		})
+		b.Run("naive/rank="+itoa(rank), func(b *testing.B) {
+			b.ReportAllocs()
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += dotNaive(a, q)
+			}
+			sinkF = s
+		})
+	}
+}
+
+func BenchmarkDotBatch(b *testing.B) {
+	const rank = 10
+	for _, rows := range []int{1000, 10000} {
+		rng := rand.New(rand.NewSource(2))
+		block := randVec(rng, rows*rank)
+		q := randVec(rng, rank)
+		dst := make([]float64, rows)
+		b.Run("batch/rows="+itoa(rows), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(rows * rank * 8))
+			for i := 0; i < b.N; i++ {
+				DotBatch(dst, block, q)
+			}
+			sinkF = dst[0]
+		})
+		b.Run("per-row-dot/rows="+itoa(rows), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(rows * rank * 8))
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < rows; r++ {
+					dst[r] = Dot(block[r*rank:(r+1)*rank], q)
+				}
+			}
+			sinkF = dst[0]
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

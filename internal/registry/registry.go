@@ -79,6 +79,38 @@ func (r *Registry) Lookup(name string) (int, bool) {
 	return info.ID, true
 }
 
+// ResolveAll looks up many names under a single lock acquisition,
+// returning parallel id/known slices (ids[i] is meaningful only when
+// known[i]). Batch endpoints (batch predict, candidate ranking) use it
+// instead of per-name Lookup calls so a 10k-candidate request costs one
+// RLock, not 10k.
+func (r *Registry) ResolveAll(names []string) (ids []int, known []bool) {
+	ids = make([]int, len(names))
+	known = make([]bool, len(names))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, name := range names {
+		if info, ok := r.byName[name]; ok {
+			ids[i] = info.ID
+			known[i] = true
+		}
+	}
+	return ids, known
+}
+
+// NameOf returns the registered name for an ID ("" when unknown) — the
+// reverse of Lookup, used when mapping ranked model IDs back to API
+// names.
+func (r *Registry) NameOf(id int) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.byID[id]
+	if !ok {
+		return "", false
+	}
+	return info.Name, true
+}
+
 // Get returns a copy of the Info for an ID.
 func (r *Registry) Get(id int) (Info, bool) {
 	r.mu.RLock()

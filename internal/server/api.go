@@ -61,6 +61,37 @@ type BatchPredictResponse struct {
 	Predictions []BatchPrediction `json:"predictions"`
 }
 
+// RankRequest is the body of POST /api/v1/rank: the paper's
+// candidate-selection query served by the ranking fast path. Services
+// lists the candidates; an empty/omitted list ranks every known service
+// (TopK then becomes mandatory). TopK <= 0 returns the full ranking of
+// the candidate list. Metric selects the ordering: "rt" (response time,
+// lower is better — the default) or "tp" (throughput, higher is better).
+type RankRequest struct {
+	User     string   `json:"user"`
+	Services []string `json:"services,omitempty"`
+	TopK     int      `json:"topk,omitempty"`
+	Metric   string   `json:"metric,omitempty"`
+}
+
+// RankedService is one entry of a ranking response, best first.
+type RankedService struct {
+	Service string  `json:"service"`
+	Value   float64 `json:"value"`
+}
+
+// RankResponse is the body of POST /api/v1/rank. The whole ranking is
+// computed against one immutable published view (ViewVersion), so it is
+// internally consistent: no concurrent model update can reorder it.
+type RankResponse struct {
+	User        string          `json:"user"`
+	Metric      string          `json:"metric"`
+	Ranked      []RankedService `json:"ranked"`
+	Unknown     []string        `json:"unknown,omitempty"`
+	Candidates  int             `json:"candidates"`
+	ViewVersion uint64          `json:"viewVersion"`
+}
+
 // StatsResponse is the body of GET /api/v1/stats.
 type StatsResponse struct {
 	Users    int   `json:"users"`

@@ -24,6 +24,8 @@ type counters struct {
 	notFound         *obs.Counter // 404 responses (unknown users/services)
 	badRequests      *obs.Counter // 400-level rejections
 	churnRemovals    *obs.Counter // users/services deregistered
+	rankRequests     *obs.Counter // candidate rankings served
+	rankCandidates   *obs.Counter // candidates scanned across all rankings
 }
 
 // buildMetrics constructs the registry and every metric family the server
@@ -40,6 +42,20 @@ func (s *Server) buildMetrics() {
 		notFound:         r.NewCounter("amf_not_found_total", "404 responses (unknown users/services)."),
 		badRequests:      r.NewCounter("amf_bad_requests_total", "400-level request rejections."),
 		churnRemovals:    r.NewCounter("amf_churn_removals_total", "Users/services deregistered (churn departures)."),
+		rankRequests:     r.NewCounter("amf_rank_requests_total", "Candidate rankings served."),
+		rankCandidates:   r.NewCounter("amf_rank_candidates_total", "Candidates scanned across all ranking requests."),
+	}
+
+	// Ranking fast path: latency by execution mode (serial, parallel,
+	// full_scan, full_scan_parallel). Unsampled — rankings are orders of
+	// magnitude rarer than predicts and each one is worth timing. The
+	// mode children are materialized up front so /metrics always exposes
+	// the full family (and so the exposition validates before the first
+	// ranking arrives).
+	s.rankLatency = r.NewHistogramVec("amf_rank_latency_seconds",
+		"Candidate-ranking latency by execution mode.", "mode", 1e-6, 60, 8)
+	for _, mode := range []string{"serial", "parallel", "full_scan", "full_scan_parallel"} {
+		s.rankLatency.With(mode)
 	}
 
 	// Model gauges.

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+)
+
+// This file implements POST /api/v1/rank — the candidate-ranking query of
+// the paper's runtime service adaptation loop (Sec. III), served entirely
+// from one immutable core.PredictView via the bounded-heap arena fast
+// path (internal/core/topk.go). Name resolution is batched (one registry
+// RLock per request), and candidate sets at or above the server's
+// RankParallelThreshold fan the scan across min(GOMAXPROCS, view shards)
+// workers with a final k-way merge.
+
+// rankRoutes registers the ranking endpoint; called from routes().
+func (s *Server) rankRoutes() {
+	s.handle("POST /api/v1/rank", s.handleRank)
+}
+
+// rankWorkers returns the fan-out width for a candidate set of size n:
+// 1 (serial) below the threshold, min(GOMAXPROCS, 64 view shards) at or
+// above it.
+func (s *Server) rankWorkers(n int) int {
+	if s.RankParallelThreshold <= 0 || n < s.RankParallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 64 {
+		w = 64
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req RankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.User == "" {
+		s.countError(w, http.StatusBadRequest, "user is required")
+		return
+	}
+	lowerIsBetter := true
+	metric := req.Metric
+	switch metric {
+	case "", "rt", "responseTime":
+		metric = "rt"
+	case "tp", "throughput":
+		metric = "tp"
+		lowerIsBetter = false
+	default:
+		s.countError(w, http.StatusBadRequest, "unknown metric %q (want rt or tp)", req.Metric)
+		return
+	}
+	if len(req.Services) > s.MaxBatch {
+		s.countError(w, http.StatusRequestEntityTooLarge, "candidate set of %d exceeds limit %d", len(req.Services), s.MaxBatch)
+		return
+	}
+	if len(req.Services) == 0 && req.TopK <= 0 {
+		s.countError(w, http.StatusBadRequest, "topk is required when ranking all services")
+		return
+	}
+
+	uid, ok := s.users.Lookup(req.User)
+	if !ok {
+		s.countError(w, http.StatusNotFound, "unknown user %q", req.User)
+		return
+	}
+
+	start := time.Now()
+	view := s.eng.View() // one consistent snapshot for the whole ranking
+	resp := RankResponse{User: req.User, Metric: metric, ViewVersion: view.Version()}
+
+	var mode string
+	if len(req.Services) == 0 {
+		// Rank everything the view knows: pure arena scan, no map walks.
+		mode = "full_scan"
+		workers := s.rankWorkers(view.NumServices())
+		if workers > 1 {
+			mode = "full_scan_parallel"
+		}
+		resp.Candidates = view.NumServices()
+		ranked := view.TopKAll(uid, req.TopK, lowerIsBetter, workers)
+		resp.Ranked = s.rankedNames(ranked)
+	} else {
+		// Resolve every candidate name in one registry pass.
+		ids, known := s.services.ResolveAll(req.Services)
+		candidates := make([]int, 0, len(ids))
+		candNames := make([]string, 0, len(ids))
+		for i, id := range ids {
+			if !known[i] {
+				resp.Unknown = append(resp.Unknown, req.Services[i])
+				continue
+			}
+			candidates = append(candidates, id)
+			candNames = append(candNames, req.Services[i])
+		}
+		resp.Candidates = len(candidates)
+		k := req.TopK
+		if k <= 0 || k > len(candidates) {
+			k = len(candidates)
+		}
+		workers := s.rankWorkers(len(candidates))
+		var ranked []core.Ranked
+		var unknownIDs []int
+		if workers > 1 {
+			mode = "parallel"
+			ranked, unknownIDs = view.TopKParallel(uid, candidates, k, lowerIsBetter, workers)
+		} else {
+			mode = "serial"
+			ranked, unknownIDs = view.TopK(uid, candidates, k, lowerIsBetter)
+		}
+		resp.Ranked = s.rankedNames(ranked)
+		// Candidates registered but absent from the view (e.g. purged by
+		// churn): map the returned IDs back to names. Both unknownIDs and
+		// candidates preserve candidate order, so a two-pointer walk
+		// recovers the names without building an id->name map.
+		if len(unknownIDs) > 0 {
+			ui := 0
+			for i, id := range candidates {
+				if ui < len(unknownIDs) && unknownIDs[ui] == id {
+					resp.Unknown = append(resp.Unknown, candNames[i])
+					ui++
+				}
+			}
+		}
+	}
+
+	if s.instrument {
+		s.rankLatency.With(mode).Observe(time.Since(start).Seconds())
+		s.metrics.rankRequests.Inc()
+		s.metrics.rankCandidates.Add(int64(resp.Candidates))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// rankedNames maps ranked model IDs back to registered service names.
+// Entries whose registration vanished mid-flight (deregistered between
+// the view load and now) keep a stable synthetic name.
+func (s *Server) rankedNames(ranked []core.Ranked) []RankedService {
+	out := make([]RankedService, len(ranked))
+	for i, r := range ranked {
+		name, ok := s.services.NameOf(r.Service)
+		if !ok {
+			name = "#departed"
+		}
+		out[i] = RankedService{Service: name, Value: r.Value}
+	}
+	return out
+}

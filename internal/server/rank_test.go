@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/qoslab/amf/internal/obs"
+)
+
+func decodeRank(t *testing.T, body []byte) RankResponse {
+	t.Helper()
+	var resp RankResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("rank response does not decode: %v\n%s", err, body)
+	}
+	return resp
+}
+
+func TestRankEndpoint(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s) // u0..u3 × s0..s4
+
+	w := doReq(t, s, http.MethodPost, "/api/v1/rank", RankRequest{
+		User:     "u1",
+		Services: []string{"s3", "s0", "s4", "ghost", "s1"},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("rank status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeRank(t, w.Body.Bytes())
+	if resp.User != "u1" || resp.Metric != "rt" {
+		t.Fatalf("echo fields: %+v", resp)
+	}
+	if resp.Candidates != 4 {
+		t.Fatalf("candidates = %d, want 4", resp.Candidates)
+	}
+	if len(resp.Ranked) != 4 {
+		t.Fatalf("ranked %d services: %+v", len(resp.Ranked), resp.Ranked)
+	}
+	for i := 1; i < len(resp.Ranked); i++ {
+		if resp.Ranked[i].Value < resp.Ranked[i-1].Value {
+			t.Fatalf("rt ranking not ascending: %+v", resp.Ranked)
+		}
+	}
+	if len(resp.Unknown) != 1 || resp.Unknown[0] != "ghost" {
+		t.Fatalf("unknown = %v, want [ghost]", resp.Unknown)
+	}
+	if resp.ViewVersion == 0 {
+		t.Fatal("view version missing")
+	}
+
+	// The ranking must agree with batch predict on the same services.
+	bp := doReq(t, s, http.MethodPost, "/api/v1/predict", BatchPredictRequest{
+		User: "u1", Services: []string{"s3", "s0", "s4", "s1"},
+	})
+	var bpResp BatchPredictResponse
+	if err := json.Unmarshal(bp.Body.Bytes(), &bpResp); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, p := range bpResp.Predictions {
+		if p.OK {
+			vals[p.Service] = p.Value
+		}
+	}
+	for _, r := range resp.Ranked {
+		if v, ok := vals[r.Service]; !ok || v != r.Value {
+			t.Fatalf("rank value %q=%g disagrees with predict %g (%v)", r.Service, r.Value, v, ok)
+		}
+	}
+}
+
+func TestRankTopKAndMetricDirection(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	all := []string{"s0", "s1", "s2", "s3", "s4"}
+
+	full := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u0", Services: all}).Body.Bytes())
+	top2 := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u0", Services: all, TopK: 2}).Body.Bytes())
+	if len(top2.Ranked) != 2 {
+		t.Fatalf("topk=2 returned %d", len(top2.Ranked))
+	}
+	for i := range top2.Ranked {
+		if top2.Ranked[i] != full.Ranked[i] {
+			t.Fatalf("topk not a prefix of full ranking: %+v vs %+v", top2.Ranked, full.Ranked)
+		}
+	}
+
+	tp := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u0", Services: all, Metric: "throughput"}).Body.Bytes())
+	if tp.Metric != "tp" {
+		t.Fatalf("metric echo %q", tp.Metric)
+	}
+	for i := 1; i < len(tp.Ranked); i++ {
+		if tp.Ranked[i].Value > tp.Ranked[i-1].Value {
+			t.Fatalf("tp ranking not descending: %+v", tp.Ranked)
+		}
+	}
+}
+
+func TestRankFullScan(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	// Empty candidate list = rank every known service; TopK mandatory.
+	resp := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u2", TopK: 3}).Body.Bytes())
+	if resp.Candidates != 5 || len(resp.Ranked) != 3 {
+		t.Fatalf("full scan: %d candidates, %d ranked", resp.Candidates, len(resp.Ranked))
+	}
+	// And it agrees with the explicit-candidate ranking.
+	explicit := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u2", Services: []string{"s0", "s1", "s2", "s3", "s4"}, TopK: 3}).Body.Bytes())
+	for i := range resp.Ranked {
+		if resp.Ranked[i] != explicit.Ranked[i] {
+			t.Fatalf("full scan disagrees with explicit candidates:\n%+v\n%+v", resp.Ranked, explicit.Ranked)
+		}
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	cases := []struct {
+		name string
+		body any
+		raw  string
+		code int
+	}{
+		{name: "bad json", raw: "{", code: http.StatusBadRequest},
+		{name: "missing user", body: RankRequest{Services: []string{"s0"}}, code: http.StatusBadRequest},
+		{name: "unknown metric", body: RankRequest{User: "u0", Services: []string{"s0"}, Metric: "jitter"}, code: http.StatusBadRequest},
+		{name: "full scan without topk", body: RankRequest{User: "u0"}, code: http.StatusBadRequest},
+		{name: "unknown user", body: RankRequest{User: "ghost", Services: []string{"s0"}}, code: http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		if tc.raw != "" {
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/rank", strings.NewReader(tc.raw))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != tc.code {
+				t.Errorf("%s: status %d, want %d", tc.name, rec.Code, tc.code)
+			}
+			continue
+		}
+		if got := doReq(t, s, http.MethodPost, "/api/v1/rank", tc.body).Code; got != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.code)
+		}
+	}
+	// Oversized candidate set.
+	s.MaxBatch = 3
+	if got := doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u0", Services: []string{"s0", "s1", "s2", "s3"}}).Code; got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized: status %d, want 413", got)
+	}
+}
+
+// TestRankParallelThresholdPath forces the parallel fan-out by dropping
+// the threshold to 1 and checks it returns the same ranking as serial.
+func TestRankParallelThresholdPath(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	all := []string{"s0", "s1", "s2", "s3", "s4"}
+	serial := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u1", Services: all}).Body.Bytes())
+	s.RankParallelThreshold = 1
+	parallel := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u1", Services: all}).Body.Bytes())
+	if len(serial.Ranked) != len(parallel.Ranked) {
+		t.Fatalf("parallel ranked %d, serial %d", len(parallel.Ranked), len(serial.Ranked))
+	}
+	for i := range serial.Ranked {
+		if serial.Ranked[i] != parallel.Ranked[i] {
+			t.Fatalf("parallel path disagrees at %d:\n%+v\n%+v", i, serial.Ranked, parallel.Ranked)
+		}
+	}
+	// Full scan through the parallel path too.
+	fsSerial := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u1", TopK: 4}).Body.Bytes())
+	s.RankParallelThreshold = 0 // disabled again
+	fsPar := decodeRank(t, doReq(t, s, http.MethodPost, "/api/v1/rank",
+		RankRequest{User: "u1", TopK: 4}).Body.Bytes())
+	for i := range fsSerial.Ranked {
+		if fsSerial.Ranked[i] != fsPar.Ranked[i] {
+			t.Fatalf("full-scan parallel disagrees:\n%+v\n%+v", fsSerial.Ranked, fsPar.Ranked)
+		}
+	}
+}
+
+// TestRankMetricsExposition checks the amf_rank_* families land on
+// /metrics, survive the strict parser+validator round-trip, and count the
+// requests this test just made.
+func TestRankMetricsExposition(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	for i := 0; i < 3; i++ {
+		doReq(t, s, http.MethodPost, "/api/v1/rank",
+			RankRequest{User: "u0", Services: []string{"s0", "s1", "s2"}})
+	}
+	doReq(t, s, http.MethodPost, "/api/v1/rank", RankRequest{User: "u0", TopK: 2})
+
+	w := doReq(t, s, http.MethodGet, "/metrics", nil)
+	tm, err := obs.ParseMetrics(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("/metrics does not validate: %v", err)
+	}
+	if v, ok := tm.Value("amf_rank_requests_total", nil); !ok || v != 4 {
+		t.Fatalf("amf_rank_requests_total = %g, %v; want 4", v, ok)
+	}
+	// 3 requests × 3 candidates + 1 full scan × 5 services.
+	if v, ok := tm.Value("amf_rank_candidates_total", nil); !ok || v != 14 {
+		t.Fatalf("amf_rank_candidates_total = %g, %v; want 14", v, ok)
+	}
+	f, ok := tm.Families["amf_rank_latency_seconds"]
+	if !ok {
+		t.Fatal("amf_rank_latency_seconds family missing")
+	}
+	modes := map[string]float64{}
+	for _, smp := range f.Samples {
+		if strings.HasSuffix(smp.Name, "_count") {
+			modes[smp.Labels["mode"]] = smp.Value
+		}
+	}
+	if modes["serial"] != 3 {
+		t.Fatalf("serial latency count = %g, want 3 (modes %v)", modes["serial"], modes)
+	}
+	if modes["full_scan"] != 1 {
+		t.Fatalf("full_scan latency count = %g, want 1 (modes %v)", modes["full_scan"], modes)
+	}
+}

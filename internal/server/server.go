@@ -38,6 +38,13 @@ type Server struct {
 	// hostile requests). Defaults to 10000.
 	MaxBatch int
 
+	// RankParallelThreshold is the candidate-set size at or above which
+	// POST /api/v1/rank fans the scan across min(GOMAXPROCS, view shards)
+	// workers instead of one serial pass. <= 0 disables the parallel
+	// path. Defaults to 4096 — below that the fan-out overhead (goroutine
+	// wakeups + k-way merge) exceeds the scan itself.
+	RankParallelThreshold int
+
 	// MetricsCompat additionally exposes the pre-rename metric names
 	// (amf_uptime_ms) on /metrics for one release; see CHANGES.md.
 	MetricsCompat bool
@@ -51,6 +58,7 @@ type Server struct {
 	reg           *obs.Registry
 	metrics       counters
 	httpHist      *obs.HistogramVec
+	rankLatency   *obs.HistogramVec
 	inflight      *obs.Gauge
 	statusClass   [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
 	acc           *obs.AccuracyTracker
@@ -104,14 +112,15 @@ func New(model *core.Model, opts ...Option) *Server {
 // takes ownership: Close shuts the engine down.
 func NewWithEngine(eng *engine.Engine, opts ...Option) *Server {
 	s := &Server{
-		eng:           eng,
-		users:         registry.New(),
-		services:      registry.New(),
-		now:           time.Now,
-		MaxBatch:      10000,
-		log:           slog.Default(),
-		slowThreshold: time.Second,
-		instrument:    true,
+		eng:                   eng,
+		users:                 registry.New(),
+		services:              registry.New(),
+		now:                   time.Now,
+		MaxBatch:              10000,
+		RankParallelThreshold: 4096,
+		log:                   slog.Default(),
+		slowThreshold:         time.Second,
+		instrument:            true,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -168,6 +177,7 @@ func (s *Server) routes() {
 	s.handle("POST /api/v1/observe", s.handleObserve)
 	s.handle("GET /api/v1/predict", s.handlePredict)
 	s.handle("POST /api/v1/predict", s.handleBatchPredict)
+	s.rankRoutes()
 	s.handle("GET /api/v1/stats", s.handleStats)
 	s.handle("GET /api/v1/users", s.handleListUsers)
 	s.handle("GET /api/v1/services", s.handleListServices)
@@ -365,17 +375,21 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	uid, userKnown := s.users.Lookup(req.User)
-	resp := BatchPredictResponse{User: req.User}
+	resp := BatchPredictResponse{
+		User:        req.User,
+		Predictions: make([]BatchPrediction, 0, len(req.Services)),
+	}
 	view := s.eng.View() // one consistent snapshot for the whole batch
-	for _, name := range req.Services {
+	// One registry pass for the whole candidate list (single RLock), then
+	// lock-free view reads per resolved service.
+	sids, known := s.services.ResolveAll(req.Services)
+	for i, name := range req.Services {
 		p := BatchPrediction{Service: name}
-		if userKnown {
-			if sid, ok := s.services.Lookup(name); ok {
-				if v, conf, err := view.PredictWithConfidence(uid, sid); err == nil {
-					p.Value = v
-					p.Confidence = conf
-					p.OK = true
-				}
+		if userKnown && known[i] {
+			if v, conf, err := view.PredictWithConfidence(uid, sids[i]); err == nil {
+				p.Value = v
+				p.Confidence = conf
+				p.OK = true
 			}
 		}
 		resp.Predictions = append(resp.Predictions, p)
