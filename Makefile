@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -39,6 +39,7 @@ bench-smoke: vet
 	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
 	$(GO) test -run=NONE -bench=BenchmarkDotBatch -benchtime=0.2s ./internal/matrix/
 	$(GO) test -run=NONE -bench='BenchmarkTopK/(legacy_rank_sort|heap)/10k' -benchmem -benchtime=0.2s ./internal/core/
+	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput/workers=(1|4)$$' -benchtime=0.2s ./internal/core/
 
 # Full ranking fast-path benchmark, archived as machine-readable JSON
 # (BENCH_rank.json) via the benchjson parser. Compare runs across
@@ -46,6 +47,15 @@ bench-smoke: vet
 bench-rank:
 	$(GO) test -run=NONE -bench='BenchmarkTopK|BenchmarkPredictBatchView' -benchmem -benchtime=0.5s ./internal/core/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_rank.json
+
+# Parallel-training throughput curve (workers = 1/2/4/8 + Hogwild +
+# replay), archived as machine-readable JSON (BENCH_train.json). The
+# workers=1 row is the exact serial baseline, so sub-benchmark ratios are
+# the parallel speedup; on single-core hosts all widths serialize and the
+# curve measures fan-out overhead instead.
+bench-train:
+	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput' -benchmem -benchtime=0.5s ./internal/core/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_train.json
 
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/

@@ -7,6 +7,11 @@
 //
 // Experiments: stats fig2 fig7 fig8 fig9 table1 fig10 fig11 fig12 fig13
 // fig14 weights params slices prequential floor adaptation.
+//
+// A second mode measures the parallel training path instead of
+// reproducing the paper's figures:
+//
+//	amfbench -mode train -scale small  # samples/sec at 1/2/4/8 workers
 package main
 
 import (
@@ -38,6 +43,7 @@ var allExperiments = []string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("amfbench", flag.ContinueOnError)
 	var (
+		mode      = fs.String("mode", "exp", "exp (paper experiments) or train (parallel-training throughput scaling curve)")
 		expFlag   = fs.String("exp", "all", "comma-separated experiments, or 'all'")
 		scaleFlag = fs.String("scale", "small", "dataset scale: tiny, small, or paper")
 		attrFlag  = fs.String("attr", "both", "QoS attribute: RT, TP, or both")
@@ -61,6 +67,14 @@ func run(args []string) error {
 	attrs, err := parseAttrs(*attrFlag)
 	if err != nil {
 		return err
+	}
+	switch *mode {
+	case "exp":
+		// fall through to the experiment loop below
+	case "train":
+		return runTrainScaling(ds, attrs[0], *seed)
+	default:
+		return fmt.Errorf("unknown mode %q (want exp or train)", *mode)
 	}
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

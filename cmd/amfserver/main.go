@@ -49,7 +49,8 @@ func run(args []string) error {
 		wal      = fs.String("wal", "", "QoS database write-ahead log; observations are appended and replayed at startup (pair with -state so IDs resolve)")
 		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
 
-		queue       = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
+		queue        = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
+		trainWorkers = fs.Int("train-workers", 1, "parallel SGD training workers (rounded down to a power of two, max 64); 1 keeps the serial deterministic writer")
 		rankPar     = fs.Int("rank-parallel-threshold", 4096, "candidate-set size at which /api/v1/rank fans out across cores (<=0 disables)")
 		publishIvl  = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
 		publishEach = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
@@ -90,6 +91,7 @@ func run(args []string) error {
 		QueueSize:       *queue,
 		PublishInterval: *publishIvl,
 		PublishEvery:    *publishEach,
+		TrainWorkers:    *trainWorkers,
 	})
 	svc := server.NewWithEngine(eng, server.WithLogger(logger))
 	defer svc.Close()
@@ -161,7 +163,8 @@ func run(args []string) error {
 		"addr", *addr, "attr", attr.String(),
 		"rank", cfg.Rank, "eta", cfg.LearnRate, "beta", cfg.Beta, "alpha", cfg.Alpha,
 		"expiry", *expiry, "replay_interval", *replay, "replay_batch", *batch,
-		"queue", *queue, "publish_interval", *publishIvl, "publish_every", *publishEach,
+		"queue", *queue, "train_workers", eng.TrainWorkers(),
+		"publish_interval", *publishIvl, "publish_every", *publishEach,
 		"rank_parallel_threshold", *rankPar,
 		"wal", *wal, "state", *state,
 		"pprof", *pprofFlag, "metrics_compat", *metrCompat,

@@ -27,15 +27,17 @@ type Model struct {
 	tr       *transform.Transformer
 	rng      *rand.Rand
 	pool     *stream.Pool
-	users    map[int]*entity
-	services map[int]*entity
+	users    *entityTable
+	services *entityTable
 	updates  int64
 
 	// dirtyUsers/dirtyServices record entities touched since the last
 	// published view so RefreshView can reclone only the affected shards.
-	// nil until EnableViewTracking (or the first BuildView); see view.go.
-	dirtyUsers    map[int]struct{}
-	dirtyServices map[int]struct{}
+	// Sharded like the entity tables (see table.go) so the parallel
+	// trainer's workers can mark dirt without coordination. nil until
+	// EnableViewTracking (or the first BuildView); see view.go.
+	dirtyUsers    *dirtySet
+	dirtyServices *dirtySet
 }
 
 // New constructs an empty AMF model.
@@ -53,8 +55,8 @@ func New(cfg Config) (*Model, error) {
 		tr:       tr,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		pool:     stream.NewPool(cfg.Expiry, cfg.Seed+1),
-		users:    make(map[int]*entity),
-		services: make(map[int]*entity),
+		users:    newEntityTable(),
+		services: newEntityTable(),
 	}, nil
 }
 
@@ -73,29 +75,34 @@ func (m *Model) Config() Config { return m.cfg }
 // newEntity randomly initializes a latent vector (Algorithm 1 line 6) and
 // seeds the error tracker at 1 (line 7): a brand-new entity is maximally
 // untrusted, so the adaptive weights route most of each update to it.
-func (m *Model) newEntity() *entity {
-	v := make([]float64, m.cfg.Rank)
-	scale := 1 / math.Sqrt(float64(m.cfg.Rank))
+func (m *Model) newEntity() *entity { return newEntityWith(m.rng, &m.cfg) }
+
+// newEntityWith is newEntity against an explicit random source, so the
+// parallel trainer's workers can register entities with their own
+// deterministic per-worker generators instead of racing on m.rng.
+func newEntityWith(rng *rand.Rand, cfg *Config) *entity {
+	v := make([]float64, cfg.Rank)
+	scale := 1 / math.Sqrt(float64(cfg.Rank))
 	for k := range v {
-		v[k] = m.rng.Float64() * scale
+		v[k] = rng.Float64() * scale
 	}
-	return &entity{vec: v, err: stats.NewEMAInit(m.cfg.Beta, 1)}
+	return &entity{vec: v, err: stats.NewEMAInit(cfg.Beta, 1)}
 }
 
 func (m *Model) user(id int) *entity {
-	e, ok := m.users[id]
+	e, ok := m.users.get(id)
 	if !ok {
 		e = m.newEntity()
-		m.users[id] = e
+		m.users.put(id, e)
 	}
 	return e
 }
 
 func (m *Model) service(id int) *entity {
-	e, ok := m.services[id]
+	e, ok := m.services.get(id)
 	if !ok {
 		e = m.newEntity()
-		m.services[id] = e
+		m.services.put(id, e)
 	}
 	return e
 }
@@ -128,8 +135,8 @@ func (m *Model) ReplayStep() bool {
 	}
 	// A replayed sample must not resurrect a departed user or service;
 	// only Observe (new data) registers entities.
-	u, okU := m.users[s.User]
-	v, okV := m.services[s.Service]
+	u, okU := m.users.get(s.User)
+	v, okV := m.services.get(s.Service)
 	if okU && okV {
 		m.update(u, v, s.Value)
 		m.markDirty(s.User, s.Service)
@@ -155,6 +162,18 @@ func (m *Model) CompactPool() { m.pool.Compact() }
 // error, fold it into both error trackers, and take simultaneous weighted
 // gradient steps on the two factor vectors (Eq. 16-17).
 func (m *Model) update(u, v *entity, value float64) {
+	m.updateEntities(u, v, value)
+	m.updates++
+}
+
+// updateEntities is update without the model-level counter bump: the pure
+// per-sample numeric work (transform, adaptive weights, error trackers,
+// gradient steps). It reads only immutable model state (cfg, tr) and
+// writes only the two entities, so the parallel trainer can run it from
+// worker goroutines — the caller must hold exclusive access to u (worker
+// partition ownership) and v (stripe lock), and accumulates the update
+// count separately.
+func (m *Model) updateEntities(u, v *entity, value float64) {
 	cfg := &m.cfg
 	r := m.tr.Forward(value)
 
@@ -209,7 +228,6 @@ func (m *Model) update(u, v *entity, value float64) {
 	}
 	u.updates++
 	v.updates++
-	m.updates++
 }
 
 // Predict estimates the QoS value between a user and a service the model
@@ -217,11 +235,11 @@ func (m *Model) update(u, v *entity, value float64) {
 // product is squashed by the sigmoid link and mapped back through the
 // inverse data transformation.
 func (m *Model) Predict(user, service int) (float64, error) {
-	u, ok := m.users[user]
+	u, ok := m.users.get(user)
 	if !ok {
 		return 0, ErrUnknownUser
 	}
-	v, ok := m.services[service]
+	v, ok := m.services.get(service)
 	if !ok {
 		return 0, ErrUnknownService
 	}
@@ -241,11 +259,11 @@ func (m *Model) Predict(user, service int) (float64, error) {
 // costs nothing extra to maintain; adaptation policies can use it to
 // require a minimum confidence before acting on a prediction.
 func (m *Model) PredictWithConfidence(user, service int) (value, confidence float64, err error) {
-	u, ok := m.users[user]
+	u, ok := m.users.get(user)
 	if !ok {
 		return 0, 0, ErrUnknownUser
 	}
-	v, ok := m.services[service]
+	v, ok := m.services.get(service)
 	if !ok {
 		return 0, 0, ErrUnknownService
 	}
@@ -257,11 +275,11 @@ func (m *Model) PredictWithConfidence(user, service int) (value, confidence floa
 // PredictNormalized returns the raw sigmoid output g(Ui·Sj) in [0,1],
 // the model's estimate of the normalized QoS target.
 func (m *Model) PredictNormalized(user, service int) (float64, error) {
-	u, ok := m.users[user]
+	u, ok := m.users.get(user)
 	if !ok {
 		return 0, ErrUnknownUser
 	}
-	v, ok := m.services[service]
+	v, ok := m.services.get(service)
 	if !ok {
 		return 0, ErrUnknownService
 	}
@@ -273,16 +291,16 @@ func (m *Model) PredictNormalized(user, service int) (float64, error) {
 func (m *Model) Transformer() *transform.Transformer { return m.tr }
 
 // KnowsUser reports whether the user has been observed.
-func (m *Model) KnowsUser(id int) bool { _, ok := m.users[id]; return ok }
+func (m *Model) KnowsUser(id int) bool { _, ok := m.users.get(id); return ok }
 
 // KnowsService reports whether the service has been observed.
-func (m *Model) KnowsService(id int) bool { _, ok := m.services[id]; return ok }
+func (m *Model) KnowsService(id int) bool { _, ok := m.services.get(id); return ok }
 
 // NumUsers returns the number of registered users.
-func (m *Model) NumUsers() int { return len(m.users) }
+func (m *Model) NumUsers() int { return m.users.len() }
 
 // NumServices returns the number of registered services.
-func (m *Model) NumServices() int { return len(m.services) }
+func (m *Model) NumServices() int { return m.services.len() }
 
 // Updates returns the total number of SGD updates performed.
 func (m *Model) Updates() int64 { return m.updates }
@@ -290,7 +308,7 @@ func (m *Model) Updates() int64 { return m.updates }
 // UserError returns the user's tracked average relative error e_ui,
 // or (0, false) if the user is unknown.
 func (m *Model) UserError(id int) (float64, bool) {
-	if e, ok := m.users[id]; ok {
+	if e, ok := m.users.get(id); ok {
 		return e.err.Value(), true
 	}
 	return 0, false
@@ -299,45 +317,33 @@ func (m *Model) UserError(id int) (float64, bool) {
 // ServiceError returns the service's tracked average relative error e_sj,
 // or (0, false) if the service is unknown.
 func (m *Model) ServiceError(id int) (float64, bool) {
-	if e, ok := m.services[id]; ok {
+	if e, ok := m.services.get(id); ok {
 		return e.err.Value(), true
 	}
 	return 0, false
 }
 
 // UserIDs returns the registered user IDs in unspecified order.
-func (m *Model) UserIDs() []int {
-	out := make([]int, 0, len(m.users))
-	for id := range m.users {
-		out = append(out, id)
-	}
-	return out
-}
+func (m *Model) UserIDs() []int { return m.users.ids() }
 
 // ServiceIDs returns the registered service IDs in unspecified order.
-func (m *Model) ServiceIDs() []int {
-	out := make([]int, 0, len(m.services))
-	for id := range m.services {
-		out = append(out, id)
-	}
-	return out
-}
+func (m *Model) ServiceIDs() []int { return m.services.ids() }
 
 // RemoveUser forgets a user entirely (framework Sec. III: users may leave
 // the environment). Replay samples involving the user die lazily because
 // prediction state is gone; they are also superseded in the pool over time.
 func (m *Model) RemoveUser(id int) {
-	delete(m.users, id)
+	m.users.remove(id)
 	if m.dirtyUsers != nil {
-		m.dirtyUsers[id] = struct{}{}
+		m.dirtyUsers.mark(id)
 	}
 }
 
 // RemoveService forgets a service entirely.
 func (m *Model) RemoveService(id int) {
-	delete(m.services, id)
+	m.services.remove(id)
 	if m.dirtyServices != nil {
-		m.dirtyServices[id] = struct{}{}
+		m.dirtyServices.mark(id)
 	}
 }
 

@@ -25,13 +25,13 @@ type Ranked struct {
 // ranking fast path uses (see topk.go), so the locked and lock-free
 // paths agree element for element.
 func (m *Model) RankServices(user int, candidates []int, lowerIsBetter bool) (ranked []Ranked, unknown []int) {
-	u, ok := m.users[user]
+	u, ok := m.users.get(user)
 	if !ok {
 		return nil, append(unknown, candidates...)
 	}
 	keys := make([]scored, 0, len(candidates))
 	for _, c := range candidates {
-		s, ok := m.services[c]
+		s, ok := m.services.get(c)
 		if !ok {
 			unknown = append(unknown, c)
 			continue
@@ -46,14 +46,14 @@ func (m *Model) RankServices(user int, candidates []int, lowerIsBetter bool) (ra
 // Best returns the top-ranked candidate in a single O(n) scan — no sort,
 // no intermediate ranking — or ok=false when none is predictable.
 func (m *Model) Best(user int, candidates []int, lowerIsBetter bool) (Ranked, bool) {
-	u, ok := m.users[user]
+	u, ok := m.users.get(user)
 	if !ok {
 		return Ranked{}, false
 	}
 	best := scored{}
 	found := false
 	for _, c := range candidates {
-		s, ok := m.services[c]
+		s, ok := m.services.get(c)
 		if !ok {
 			continue
 		}
@@ -88,13 +88,13 @@ func (m *Model) HighErrorServices(threshold float64) []Flagged {
 	return flagHighError(m.services, threshold)
 }
 
-func flagHighError(entities map[int]*entity, threshold float64) []Flagged {
+func flagHighError(entities *entityTable, threshold float64) []Flagged {
 	var out []Flagged
-	for id, e := range entities {
+	entities.each(func(id int, e *entity) {
 		if v := e.err.Value(); v >= threshold {
 			out = append(out, Flagged{ID: id, Error: v})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Error != out[j].Error {
 			return out[i].Error > out[j].Error

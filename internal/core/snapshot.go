@@ -40,13 +40,13 @@ func (m *Model) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func entitiesToSnapshots(m map[int]*entity) []entitySnapshot {
-	out := make([]entitySnapshot, 0, len(m))
-	for id, e := range m {
+func entitiesToSnapshots(t *entityTable) []entitySnapshot {
+	out := make([]entitySnapshot, 0, t.len())
+	t.each(func(id int, e *entity) {
 		vec := make([]float64, len(e.vec))
 		copy(vec, e.vec)
 		out = append(out, entitySnapshot{ID: id, Vec: vec, Err: e.err.Value(), Updates: e.updates})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -68,14 +68,14 @@ func Restore(data []byte) (*Model, error) {
 	return m, nil
 }
 
-func restoreEntities(m *Model, dst map[int]*entity, src []entitySnapshot) {
+func restoreEntities(m *Model, dst *entityTable, src []entitySnapshot) {
 	for _, es := range src {
 		vec := make([]float64, m.cfg.Rank)
 		copy(vec, es.Vec)
-		dst[es.ID] = &entity{
+		dst.put(es.ID, &entity{
 			vec:     vec,
 			err:     stats.NewEMAInit(m.cfg.Beta, es.Err),
 			updates: es.Updates,
-		}
+		})
 	}
 }

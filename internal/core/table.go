@@ -1,0 +1,120 @@
+package core
+
+// This file holds the sharded entity storage behind Model.users and
+// Model.services, and the matching sharded dirty sets behind incremental
+// view publication.
+//
+// Why sharded maps instead of two flat map[int]*entity: the parallel
+// training path (trainer.go) partitions users across W workers so that
+// each worker exclusively owns its users' latent vectors. That ownership
+// must extend to *registration* — a worker observing a brand-new user
+// inserts into the table concurrently with its peers — and Go maps do not
+// tolerate concurrent writers even on disjoint keys. Splitting the table
+// into tableShards independent maps, with worker w owning exactly the
+// shards {si : si & (W-1) == w}, makes every map write single-writer by
+// construction: no locks on the user side, ever.
+//
+// tableShards is deliberately the same constant as viewShardCount and
+// uses the same shardOf hash, so three layers line up on one partition:
+//
+//	model table shard  ==  view shard  ==  trainer stripe
+//
+// BuildView groups entities per shard without re-hashing, the trainer's
+// per-service stripe lock also guards its shard map (service registration
+// and vector updates share one lock), and a worker's user shards are the
+// exact shards its ingest queues feed (engine shard si → worker si&(W-1)).
+const tableShards = viewShardCount
+
+// entityTable is one side (users or services) of the model's learned
+// state: a fixed array of hash shards. The Model itself remains
+// single-goroutine-unsafe; concurrent access discipline is imposed by the
+// Trainer (worker-exclusive user shards, stripe-locked service shards).
+type entityTable struct {
+	shards [tableShards]map[int]*entity
+}
+
+func newEntityTable() *entityTable {
+	t := &entityTable{}
+	for i := range t.shards {
+		t.shards[i] = make(map[int]*entity)
+	}
+	return t
+}
+
+func (t *entityTable) get(id int) (*entity, bool) {
+	e, ok := t.shards[shardOf(id)][id]
+	return e, ok
+}
+
+func (t *entityTable) put(id int, e *entity) {
+	t.shards[shardOf(id)][id] = e
+}
+
+func (t *entityTable) remove(id int) {
+	delete(t.shards[shardOf(id)], id)
+}
+
+// len sums the shard sizes. O(tableShards) — cheap relative to how rarely
+// entity counts are read (stats endpoints, view builds).
+func (t *entityTable) len() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i])
+	}
+	return n
+}
+
+// each visits every entity in unspecified order.
+func (t *entityTable) each(f func(id int, e *entity)) {
+	for i := range t.shards {
+		for id, e := range t.shards[i] {
+			f(id, e)
+		}
+	}
+}
+
+// ids returns all entity IDs in unspecified order.
+func (t *entityTable) ids() []int {
+	out := make([]int, 0, t.len())
+	for i := range t.shards {
+		for id := range t.shards[i] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// dirtySet records entities touched since the last published view,
+// sharded exactly like entityTable so that the parallel trainer's workers
+// can mark dirt without coordination: a worker only writes the dirty
+// shards it owns (user side), or marks under the stripe lock that already
+// guards the entity shard (service side). nil maps mean tracking is off.
+type dirtySet struct {
+	shards [tableShards]map[int]struct{}
+}
+
+func newDirtySet() *dirtySet {
+	d := &dirtySet{}
+	for i := range d.shards {
+		d.shards[i] = make(map[int]struct{})
+	}
+	return d
+}
+
+func (d *dirtySet) mark(id int) {
+	d.shards[shardOf(id)][id] = struct{}{}
+}
+
+func (d *dirtySet) count() int {
+	n := 0
+	for i := range d.shards {
+		n += len(d.shards[i])
+	}
+	return n
+}
+
+func (d *dirtySet) clear() {
+	for i := range d.shards {
+		clear(d.shards[i])
+	}
+}

@@ -139,9 +139,16 @@ func TestTopKEdgeCases(t *testing.T) {
 func TestRankingTieBreakDeterministic(t *testing.T) {
 	m := topkTestModel(t, 12)
 	// Make services 2, 5, 9 latent-identical: exact dot-product ties.
-	base := m.services[2].vec
+	svc := func(id int) *entity {
+		e, ok := m.services.get(id)
+		if !ok {
+			t.Fatalf("service %d missing", id)
+		}
+		return e
+	}
+	base := svc(2).vec
 	for _, id := range []int{5, 9} {
-		copy(m.services[id].vec, base)
+		copy(svc(id).vec, base)
 	}
 	v := m.BuildView()
 	for _, lower := range []bool{true, false} {

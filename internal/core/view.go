@@ -96,8 +96,8 @@ type PredictView struct {
 // republish views incrementally. BuildView enables it implicitly.
 func (m *Model) EnableViewTracking() {
 	if m.dirtyUsers == nil {
-		m.dirtyUsers = make(map[int]struct{})
-		m.dirtyServices = make(map[int]struct{})
+		m.dirtyUsers = newDirtySet()
+		m.dirtyServices = newDirtySet()
 	}
 }
 
@@ -107,20 +107,23 @@ func (m *Model) markDirty(user, service int) {
 	if m.dirtyUsers == nil {
 		return
 	}
-	m.dirtyUsers[user] = struct{}{}
-	m.dirtyServices[service] = struct{}{}
+	m.dirtyUsers.mark(user)
+	m.dirtyServices.mark(service)
 }
 
 func (m *Model) clearDirty() {
-	clear(m.dirtyUsers)
-	clear(m.dirtyServices)
+	m.dirtyUsers.clear()
+	m.dirtyServices.clear()
 }
 
 // DirtyCount returns the number of users and services touched since the
 // last BuildView/RefreshView (0, 0 when tracking is disabled). The
 // serving engine uses it to decide whether a republish is pending.
 func (m *Model) DirtyCount() (users, services int) {
-	return len(m.dirtyUsers), len(m.dirtyServices)
+	if m.dirtyUsers == nil {
+		return 0, 0
+	}
+	return m.dirtyUsers.count(), m.dirtyServices.count()
 }
 
 // BuildView constructs a complete immutable view of the model's current
@@ -142,19 +145,23 @@ func (m *Model) BuildView() *PredictView {
 	return v
 }
 
-func buildTable(dst *viewTable, src map[int]*entity, rank int) {
-	var byShard [viewShardCount][]int
-	for id := range src {
-		si := shardOf(id)
-		byShard[si] = append(byShard[si], id)
-	}
-	for si, ids := range byShard {
-		if len(ids) == 0 {
+func buildTable(dst *viewTable, src *entityTable, rank int) {
+	// Model table shards and view shards share the same hash (see
+	// table.go), so each model shard freezes into its view shard directly.
+	total := 0
+	for si := range src.shards {
+		sh := src.shards[si]
+		if len(sh) == 0 {
 			continue
 		}
-		dst.shards[si], dst.arenas[si] = freezeShardFromModel(src, ids, rank)
+		ids := make([]int, 0, len(sh))
+		for id := range sh {
+			ids = append(ids, id)
+		}
+		dst.shards[si], dst.arenas[si] = freezeShardFromModel(sh, ids, rank)
+		total += len(ids)
 	}
-	dst.count = len(src)
+	dst.count = total
 }
 
 func freezeEntity(e *entity) viewEntity {
@@ -198,34 +205,35 @@ func (m *Model) RefreshView(prev *PredictView) *PredictView {
 // previous view's shards) with fresh clones reflecting src, then repacks
 // each cloned shard's factor vectors into a fresh contiguous arena.
 // Untouched shards keep sharing both map and arena with the previous
-// view.
-func refreshTable(dst *viewTable, src map[int]*entity, dirty map[int]struct{}, rank int) {
-	if len(dirty) == 0 {
-		return
-	}
-	cloned := make(map[int]map[int]viewEntity) // shard index -> fresh map
-	for id := range dirty {
-		si := shardOf(id)
-		sh, ok := cloned[si]
-		if !ok {
-			old := dst.shards[si]
-			sh = make(map[int]viewEntity, len(old)+1)
-			for k, e := range old {
-				sh[k] = e
+// view. Dirty sets are sharded with the same hash as both tables, so the
+// walk is per-shard: clone once, patch every dirty id, rebuild the arena.
+func refreshTable(dst *viewTable, src *entityTable, dirty *dirtySet, rank int) {
+	changed := false
+	for si := range dirty.shards {
+		ids := dirty.shards[si]
+		if len(ids) == 0 {
+			continue
+		}
+		old := dst.shards[si]
+		sh := make(map[int]viewEntity, len(old)+len(ids))
+		for k, e := range old {
+			sh[k] = e
+		}
+		modelShard := src.shards[si]
+		for id := range ids {
+			if e, ok := modelShard[id]; ok {
+				sh[id] = freezeEntity(e)
+			} else {
+				delete(sh, id) // removed entity (churn departure)
 			}
-			cloned[si] = sh
-			dst.shards[si] = sh
 		}
-		if e, ok := src[id]; ok {
-			sh[id] = freezeEntity(e)
-		} else {
-			delete(sh, id) // removed entity (churn departure)
-		}
-	}
-	for si := range cloned {
+		dst.shards[si] = sh
 		rebuildArena(dst, si, rank)
+		changed = true
 	}
-	dst.recount()
+	if changed {
+		dst.recount()
+	}
 }
 
 // Version returns the publish sequence number of this view. Versions are

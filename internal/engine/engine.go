@@ -16,7 +16,7 @@
 //     grace period); they simply observe slightly stale factors, bounded
 //     by the publish policy below.
 //
-//   - A single-writer update loop with sharded ingest. Observations
+//   - A single-coordinator update loop with sharded ingest. Observations
 //     enter bounded per-shard channels (drop-oldest under overload, with
 //     accounting), are drained in batches by one writer goroutine that
 //     applies them to the model, interleaves ReplayStep work
@@ -24,6 +24,15 @@
 //     PublishEvery updates or PublishInterval, whichever comes first.
 //     Republication is incremental: only the view shards touched since
 //     the last publish are recloned (see core.Model.RefreshView).
+//
+//     With Config.TrainWorkers > 1 the writer goroutine stops applying
+//     updates itself and becomes the coordinator of a core.Trainer:
+//     drained batches are partitioned by ingest shard (shard si feeds
+//     worker si&(W−1), so per-user ordering survives) and fanned out
+//     across W user-partitioned SGD workers with striped service-vector
+//     locks. Fan-outs are fork-join, so views still publish only while
+//     the model is quiescent; TrainWorkers=1 (the default) is bit-for-bit
+//     the old serial writer.
 //
 // Two write paths exist on purpose. Enqueue is fire-and-forget with
 // backpressure accounting — the high-frequency stream-ingest path.
@@ -68,6 +77,22 @@ type Config struct {
 	// arrivals without a separate replay loop. Default 0 (replay is
 	// driven externally via ReplaySteps / server.RunReplay).
 	ReplayPerBatch int
+	// TrainWorkers is the number of parallel training workers W. With
+	// the default of 1 the engine keeps the exact single-writer serial
+	// behavior it has always had (bit-for-bit deterministic for a fixed
+	// seed). With W > 1 the writer becomes a coordinator: drained
+	// batches fan out across a core.Trainer's user-partitioned workers
+	// (ingest shard si feeds worker si&(W−1), preserving per-user
+	// ordering), service vectors are guarded by striped locks, and view
+	// publication still happens only between fan-outs. Rounded down to a
+	// power of two and clamped to [1, core.MaxTrainWorkers]; values > 1
+	// also raise IngestShards to at least W so the shard→worker mapping
+	// stays exact.
+	TrainWorkers int
+	// TrainUnsync enables Hogwild-style unsynchronized service updates
+	// in the parallel trainer (benchmarking only — see
+	// core.TrainerConfig.Unsynchronized). Ignored when TrainWorkers <= 1.
+	TrainUnsync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,20 +117,38 @@ func (c Config) withDefaults() Config {
 	if c.ReplayPerBatch < 0 {
 		c.ReplayPerBatch = 0
 	}
+	if c.TrainWorkers <= 0 {
+		c.TrainWorkers = 1
+	}
+	// Mirror the trainer's rounding (power of two, ≤ MaxTrainWorkers) so
+	// the shard floor below uses the effective worker count.
+	p := 1
+	for p*2 <= c.TrainWorkers && p*2 <= core.MaxTrainWorkers {
+		p *= 2
+	}
+	c.TrainWorkers = p
+	if c.IngestShards < c.TrainWorkers {
+		// Shard→worker affinity needs at least one shard per worker so
+		// user&(shards−1) determines user&(W−1).
+		c.IngestShards = c.TrainWorkers
+	}
 	return c
 }
 
 // Stats is a point-in-time accounting snapshot of the engine.
 type Stats struct {
-	Enqueued  int64  // samples accepted into the ingest queue
-	Dropped   int64  // samples dropped under overload (drop-oldest + overflow)
-	Applied   int64  // samples applied to the model (ingest + sync batches)
-	Replayed  int64  // replay updates performed by/through the engine
-	Published int64  // views published
-	QueueLen  int    // samples currently queued across all shards
-	QueueCap  int    // total queue capacity across all shards
-	Version   uint64 // current view version
-	Updates   int64  // current view's model update count
+	Enqueued      int64  // samples accepted into the ingest queue
+	Dropped       int64  // samples dropped under overload (DroppedNew + DroppedOldest)
+	DroppedNew    int64  // incoming samples shed after the drop-oldest spin gave up
+	DroppedOldest int64  // queued samples evicted to admit fresher ones
+	Applied       int64  // samples applied to the model (ingest + sync batches)
+	Replayed      int64  // replay updates performed by/through the engine
+	Published     int64  // views published
+	QueueLen      int    // samples currently queued across all shards
+	QueueCap      int    // total queue capacity across all shards
+	Version       uint64 // current view version
+	Updates       int64  // current view's model update count
+	TrainWorkers  int    // parallel training workers (1 = serial writer)
 }
 
 type syncBatch struct {
@@ -161,6 +204,19 @@ type Engine struct {
 	mu    sync.Mutex
 	model *core.Model
 
+	// trainer is the parallel training path (nil when TrainWorkers <= 1
+	// and after Close). All trainer calls happen under mu: the writer
+	// loop is the coordinator that fans batches out to the trainer's
+	// workers and joins them before publishing, so view publication
+	// never overlaps an update. parts is the coordinator's reusable
+	// per-worker partition scratch.
+	trainer *core.Trainer
+	parts   [][]stream.Sample
+	// trainMetrics is the trainer's instrumentation, held separately so
+	// it survives trainer rebuilds (Restore) and stays readable lock-free
+	// after Close. Nil when TrainWorkers <= 1.
+	trainMetrics *core.TrainerMetrics
+
 	// publish bookkeeping, guarded by mu.
 	sincePublish int       // model updates since the last publish
 	lastPublish  time.Time // wall time of the last publish
@@ -172,9 +228,10 @@ type Engine struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	enqueued  atomic.Int64
-	dropped   atomic.Int64
-	applied   atomic.Int64
+	enqueued      atomic.Int64
+	droppedNew    atomic.Int64
+	droppedOldest atomic.Int64
+	applied       atomic.Int64
 	replayed  atomic.Int64
 	published atomic.Int64
 
@@ -203,6 +260,14 @@ func New(model *core.Model, cfg Config) *Engine {
 	for i := range e.shards {
 		e.shards[i] = make(chan queued, cfg.QueueSize)
 	}
+	if cfg.TrainWorkers > 1 {
+		e.trainer = core.NewTrainer(model, core.TrainerConfig{
+			Workers:        cfg.TrainWorkers,
+			Unsynchronized: cfg.TrainUnsync,
+		})
+		e.parts = make([][]stream.Sample, e.trainer.Workers())
+		e.trainMetrics = e.trainer.Metrics()
+	}
 	e.view.Store(model.BuildView())
 	e.lastPublish = time.Now()
 	e.lastPublishNano.Store(e.lastPublish.UnixNano())
@@ -215,11 +280,21 @@ func New(model *core.Model, cfg Config) *Engine {
 // samples accepted before Close are reflected in the last published view.
 // The engine remains readable after Close; ObserveAll and control
 // operations fall back to applying inline.
+// (Parallel trainers are released too: after Close the inline fallback
+// paths run the exact serial model code, so a closed engine never fans
+// out. Replay samples held by worker-local pools are dropped with the
+// trainer — the model's own pool keeps serving post-Close replay.)
 func (e *Engine) Close() {
 	if e.closed.CompareAndSwap(false, true) {
 		close(e.stop)
 	}
 	e.wg.Wait()
+	e.mu.Lock()
+	if e.trainer != nil {
+		e.trainer.Close()
+		e.trainer = nil
+	}
+	e.mu.Unlock()
 }
 
 // View returns the current published view. The returned view is immutable
@@ -244,39 +319,79 @@ func (e *Engine) Enqueue(s stream.Sample) bool {
 	if e.closed.Load() {
 		return false
 	}
-	ch := e.shardFor(s.User)
-	q := queued{s: s, enq: time.Now().UnixNano()}
+	if !e.enqueueOn(e.shardFor(s.User), queued{s: s, enq: time.Now().UnixNano()}) {
+		return false
+	}
+	e.signal()
+	return true
+}
+
+// enqueueOn admits one entry into a shard channel with drop-oldest
+// semantics, without signaling the writer. Drops are split by reason:
+// droppedOldest counts queued samples evicted to admit fresher ones,
+// droppedNew counts incoming samples shed after the eviction spin gave up.
+func (e *Engine) enqueueOn(ch chan queued, q queued) bool {
 	for tries := 0; ; tries++ {
 		select {
 		case ch <- q:
 			e.enqueued.Add(1)
-			e.signal()
 			return true
 		default:
 		}
 		if tries >= 4 {
 			// Contended producers kept refilling the slot we freed;
 			// shed the new sample instead of spinning.
-			e.dropped.Add(1)
+			e.droppedNew.Add(1)
 			return false
 		}
 		// Drop the oldest queued sample to make room.
 		select {
 		case <-ch:
-			e.dropped.Add(1)
+			e.droppedOldest.Add(1)
 		default:
 		}
 	}
 }
 
-// EnqueueAll admits a batch via Enqueue and returns how many samples were
-// admitted.
+// EnqueueAll admits a batch and returns how many samples were admitted.
+// Unlike a loop over Enqueue it groups the batch by ingest shard first —
+// one timestamp read, one pass per shard's contiguous run, and a single
+// writer wakeup for the whole batch instead of one per sample — so bulk
+// producers (TCP ingest framing, replayed WALs) do not hammer the wake
+// channel. Per-user ordering is preserved: a user maps to exactly one
+// shard and the per-shard groups keep arrival order.
 func (e *Engine) EnqueueAll(ss []stream.Sample) int {
+	if e.closed.Load() || len(ss) == 0 {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	mask := len(e.shards) - 1
+	// Group by shard: small batches just index directly, large ones get
+	// bucketed so each channel is touched in one contiguous run.
 	n := 0
-	for _, s := range ss {
-		if e.Enqueue(s) {
-			n++
+	if len(ss) <= 16 {
+		for _, s := range ss {
+			if e.enqueueOn(e.shards[s.User&mask], queued{s: s, enq: now}) {
+				n++
+			}
 		}
+	} else {
+		groups := make([][]stream.Sample, len(e.shards))
+		for _, s := range ss {
+			si := s.User & mask
+			groups[si] = append(groups[si], s)
+		}
+		for si, g := range groups {
+			ch := e.shards[si]
+			for _, s := range g {
+				if e.enqueueOn(ch, queued{s: s, enq: now}) {
+					n++
+				}
+			}
+		}
+	}
+	if n > 0 {
+		e.signal()
 	}
 	return n
 }
@@ -335,11 +450,15 @@ func (e *Engine) ReplaySteps(n int) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	done := 0
-	for i := 0; i < n; i++ {
-		if !e.model.ReplayStep() {
-			break
+	if e.trainer != nil {
+		done = e.trainer.ReplaySteps(n)
+	} else {
+		for i := 0; i < n; i++ {
+			if !e.model.ReplayStep() {
+				break
+			}
+			done++
 		}
-		done++
 	}
 	if done > 0 {
 		e.replayed.Add(int64(done))
@@ -354,6 +473,10 @@ func (e *Engine) ReplaySteps(n int) int {
 func (e *Engine) AdvanceTo(t time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.trainer != nil {
+		e.trainer.AdvanceTo(t) // advances the model clock and every worker pool
+		return
+	}
 	e.model.AdvanceTo(t)
 }
 
@@ -397,6 +520,16 @@ func (e *Engine) Restore(data []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.model = m
+	if e.trainer != nil {
+		// The trainer is bound to the replaced model: rebuild it against
+		// the restored one (same worker count and mode).
+		e.trainer.Close()
+		e.trainer = core.NewTrainer(m, core.TrainerConfig{
+			Workers:        e.cfg.TrainWorkers,
+			Unsynchronized: e.cfg.TrainUnsync,
+			Metrics:        e.trainMetrics, // keep /metrics series continuity
+		})
+	}
 	e.publishLocked() // RefreshView detects the swap and fully rebuilds
 	return nil
 }
@@ -455,6 +588,17 @@ func (e *Engine) Config() Config { return e.cfg }
 // see Metrics). The server registers them on its /metrics registry.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// TrainWorkers returns the effective parallel-training worker count
+// (1 = the serial single-writer path).
+func (e *Engine) TrainWorkers() int { return e.cfg.TrainWorkers }
+
+// TrainMetrics returns the parallel trainer's instrumentation (per-worker
+// apply latency, stripe contention, fan-out count), or nil when the
+// engine runs the serial path. The returned pointer is stable for the
+// engine's lifetime — trainers rebuilt on Restore record into the same
+// series — so the server can register it once at setup.
+func (e *Engine) TrainMetrics() *core.TrainerMetrics { return e.trainMetrics }
+
 // Staleness reports how far behind the published view is: the age of the
 // last publish while model updates are pending, and 0 when the view is
 // current. It reads two atomics and never contends with the writer, so
@@ -478,16 +622,20 @@ func (e *Engine) Stats() Stats {
 	for _, ch := range e.shards {
 		queued += len(ch)
 	}
+	dn, do := e.droppedNew.Load(), e.droppedOldest.Load()
 	return Stats{
-		Enqueued:  e.enqueued.Load(),
-		Dropped:   e.dropped.Load(),
-		Applied:   e.applied.Load(),
-		Replayed:  e.replayed.Load(),
-		Published: e.published.Load(),
-		QueueLen:  queued,
-		QueueCap:  len(e.shards) * e.cfg.QueueSize,
-		Version:   v.Version(),
-		Updates:   v.Updates(),
+		Enqueued:      e.enqueued.Load(),
+		Dropped:       dn + do,
+		DroppedNew:    dn,
+		DroppedOldest: do,
+		Applied:       e.applied.Load(),
+		Replayed:      e.replayed.Load(),
+		Published:     e.published.Load(),
+		QueueLen:      queued,
+		QueueCap:      len(e.shards) * e.cfg.QueueSize,
+		Version:       v.Version(),
+		Updates:       v.Updates(),
+		TrainWorkers:  e.cfg.TrainWorkers,
 	}
 }
 
@@ -544,6 +692,15 @@ func (e *Engine) loop() {
 // the drain start (a lower bound for samples drained later in the batch),
 // and the batch apply time is attributed to each update as its mean — one
 // pair of clock reads per drain, not per update.
+//
+// With a parallel trainer the drain becomes a two-phase coordinator:
+// phase one pulls queued samples into per-worker partitions (ingest shard
+// si feeds worker si&(W−1) — exact, because IngestShards ≥ W and both are
+// powers of two, so a user's worker is a function of its shard; per-user
+// arrival order is preserved), phase two fans the partitions out across
+// the trainer's workers and joins them. The writer never publishes while
+// workers run — fan-outs are fork-join, so the quiescent windows between
+// drains are the only publish points, same as the serial path.
 func (e *Engine) drainLocked() {
 	budget := e.cfg.PublishEvery
 	if budget < 64 {
@@ -551,10 +708,18 @@ func (e *Engine) drainLocked() {
 	}
 	start := time.Now()
 	startNano := start.UnixNano()
+	parallel := e.trainer != nil
+	var wmask int
+	if parallel {
+		wmask = e.trainer.Workers() - 1
+		for i := range e.parts {
+			e.parts[i] = e.parts[i][:0]
+		}
+	}
 	drained := 0
 	for budget > 0 {
 		progress := false
-		for _, ch := range e.shards {
+		for si, ch := range e.shards {
 			for budget > 0 {
 				select {
 				case q := <-ch:
@@ -563,7 +728,12 @@ func (e *Engine) drainLocked() {
 					} else {
 						e.metrics.QueueWait.Observe(0)
 					}
-					e.model.Observe(q.s)
+					if parallel {
+						w := si & wmask
+						e.parts[w] = append(e.parts[w], q.s)
+					} else {
+						e.model.Observe(q.s)
+					}
 					drained++
 					budget--
 					progress = true
@@ -578,6 +748,9 @@ func (e *Engine) drainLocked() {
 		}
 	}
 	if drained > 0 {
+		if parallel {
+			e.trainer.ApplyOwned(e.parts)
+		}
 		dur := time.Since(start).Seconds()
 		e.metrics.Apply.ObserveN(dur/float64(drained), int64(drained))
 		e.applied.Add(int64(drained))
@@ -595,8 +768,12 @@ func (e *Engine) applyLocked(ss []stream.Sample) {
 		return
 	}
 	start := time.Now()
-	for _, s := range ss {
-		e.model.Observe(s)
+	if e.trainer != nil {
+		e.trainer.Apply(ss)
+	} else {
+		for _, s := range ss {
+			e.model.Observe(s)
+		}
 	}
 	dur := time.Since(start).Seconds()
 	e.metrics.Apply.ObserveN(dur/float64(len(ss)), int64(len(ss)))
@@ -612,11 +789,15 @@ func (e *Engine) replayLocked() {
 	}
 	start := time.Now()
 	done := 0
-	for i := 0; i < n; i++ {
-		if !e.model.ReplayStep() {
-			break
+	if e.trainer != nil {
+		done = e.trainer.ReplaySteps(n)
+	} else {
+		for i := 0; i < n; i++ {
+			if !e.model.ReplayStep() {
+				break
+			}
+			done++
 		}
-		done++
 	}
 	if done > 0 {
 		dur := time.Since(start).Seconds()

@@ -20,6 +20,31 @@ import (
 //     versions, and (in the restore-free phase) non-decreasing update
 //     counts.
 func TestStressConcurrentReadWrite(t *testing.T) {
+	runStressConcurrentReadWrite(t, Config{
+		QueueSize:       256,
+		IngestShards:    4,
+		PublishEvery:    64,
+		PublishInterval: 2 * time.Millisecond,
+		ReplayPerBatch:  16,
+	})
+}
+
+// TestStressParallelTrainer is the same torture run against the
+// multi-writer path: the drain fans out across 4 trainer workers while
+// readers, churn, snapshot, and restore race it. Run with -race — the
+// synchronized trainer must be race-detector clean.
+func TestStressParallelTrainer(t *testing.T) {
+	runStressConcurrentReadWrite(t, Config{
+		QueueSize:       256,
+		IngestShards:    8,
+		PublishEvery:    64,
+		PublishInterval: 2 * time.Millisecond,
+		ReplayPerBatch:  16,
+		TrainWorkers:    4,
+	})
+}
+
+func runStressConcurrentReadWrite(t *testing.T, cfg Config) {
 	const (
 		users    = 32
 		services = 64
@@ -27,13 +52,7 @@ func TestStressConcurrentReadWrite(t *testing.T) {
 		writers  = 2
 		mutators = 2 // churn + snapshot/replay goroutines
 	)
-	e := New(testModel(t), Config{
-		QueueSize:       256,
-		IngestShards:    4,
-		PublishEvery:    64,
-		PublishInterval: 2 * time.Millisecond,
-		ReplayPerBatch:  16,
-	})
+	e := New(testModel(t), cfg)
 	defer e.Close()
 
 	// Seed synchronously so every (u, s) in range is predictable.

@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// TestTrainWorkersConfig pins the config normalization: worker counts
+// round down to powers of two, and IngestShards is floored at the worker
+// count so the shard→worker affinity mapping stays exact.
+func TestTrainWorkersConfig(t *testing.T) {
+	cases := []struct {
+		in            Config
+		wantWorkers   int
+		minimumShards int
+	}{
+		{Config{}, 1, 1},
+		{Config{TrainWorkers: 1}, 1, 1},
+		{Config{TrainWorkers: 3}, 2, 2},
+		{Config{TrainWorkers: 7}, 4, 4},
+		{Config{TrainWorkers: 16, IngestShards: 4}, 16, 16},
+		{Config{TrainWorkers: 100}, 64, 64},
+	}
+	for _, c := range cases {
+		e := New(testModel(t), c.in)
+		cfg := e.Config()
+		if cfg.TrainWorkers != c.wantWorkers {
+			t.Errorf("TrainWorkers %d → %d, want %d", c.in.TrainWorkers, cfg.TrainWorkers, c.wantWorkers)
+		}
+		if cfg.IngestShards < c.minimumShards {
+			t.Errorf("TrainWorkers %d: IngestShards %d below worker count %d",
+				c.in.TrainWorkers, cfg.IngestShards, c.minimumShards)
+		}
+		if got := e.Stats().TrainWorkers; got != c.wantWorkers {
+			t.Errorf("Stats().TrainWorkers = %d, want %d", got, c.wantWorkers)
+		}
+		if (e.TrainMetrics() != nil) != (c.wantWorkers > 1) {
+			t.Errorf("TrainWorkers %d: TrainMetrics presence wrong", c.in.TrainWorkers)
+		}
+		e.Close()
+	}
+}
+
+// TestParallelEngineEndToEnd runs the full engine surface in parallel
+// mode: sync observes, async enqueues, replay, churn, snapshot/restore,
+// and post-Close fallbacks all behave exactly as the serial engine.
+func TestParallelEngineEndToEnd(t *testing.T) {
+	e := New(testModel(t), Config{TrainWorkers: 4, PublishInterval: 5 * time.Millisecond})
+	ss := seedSamples(8, 12)
+
+	// Read-your-writes through the parallel apply path.
+	e.ObserveAll(ss)
+	v := e.View()
+	if v.Updates() != int64(len(ss)) {
+		t.Fatalf("view updates %d, want %d", v.Updates(), len(ss))
+	}
+	if _, err := v.Predict(0, 0); err != nil {
+		t.Fatalf("observation not visible after parallel ObserveAll: %v", err)
+	}
+
+	// Async ingest drains through the fan-out path.
+	admitted := e.EnqueueAll(seedSamples(16, 12)[len(ss):])
+	e.Flush()
+	st := e.Stats()
+	if st.Applied < int64(len(ss)+admitted) {
+		t.Fatalf("applied %d < observed %d + admitted %d", st.Applied, len(ss), admitted)
+	}
+
+	// Replay fans across worker pools and publishes.
+	if n := e.ReplaySteps(64); n == 0 {
+		t.Fatal("parallel replay performed no steps on a seeded pool")
+	}
+
+	// Churn + snapshot/restore rebuilds the trainer against the new model.
+	e.RemoveUser(1)
+	if e.View().KnowsUser(1) {
+		t.Fatal("removal not published")
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveAll([]stream.Sample{{User: 40, Service: 41, Value: 2}})
+	if !e.View().KnowsUser(40) {
+		t.Fatal("post-Restore parallel ObserveAll not applied")
+	}
+	if tm := e.TrainMetrics(); tm == nil || tm.Batches.Value() == 0 {
+		t.Fatal("trainer metrics not recording through the engine")
+	}
+
+	// Post-Close fallback runs the serial inline path.
+	e.Close()
+	e.ObserveAll([]stream.Sample{{User: 50, Service: 50, Value: 2}})
+	if !e.View().KnowsUser(50) {
+		t.Fatal("post-Close ObserveAll not applied in parallel mode")
+	}
+	e.Close() // idempotent
+}
+
+// TestEnqueueAllBatch covers the batched ingest path: per-shard grouping
+// must preserve visibility and return the admitted count, for both the
+// small-batch (direct) and large-batch (bucketed) variants.
+func TestEnqueueAllBatch(t *testing.T) {
+	e := New(testModel(t), Config{})
+	small := seedSamples(4, 5) // 7 samples ≤ 16 → direct path
+	if len(small) > 16 {
+		t.Fatalf("test assumes small batch, got %d", len(small))
+	}
+	if n := e.EnqueueAll(small); n != len(small) {
+		t.Fatalf("small EnqueueAll admitted %d of %d", n, len(small))
+	}
+	large := seedSamples(16, 16) // > 16 → bucketed path
+	if len(large) <= 16 {
+		t.Fatalf("test assumes large batch, got %d", len(large))
+	}
+	if n := e.EnqueueAll(large); n != len(large) {
+		t.Fatalf("large EnqueueAll admitted %d of %d", n, len(large))
+	}
+	e.Flush()
+	for _, s := range large {
+		if _, err := e.Predict(s.User, s.Service); err != nil {
+			t.Fatalf("batched sample (%d,%d) not visible: %v", s.User, s.Service, err)
+		}
+	}
+	if st := e.Stats(); st.Enqueued != int64(len(small)+len(large)) {
+		t.Fatalf("enqueued %d, want %d", st.Enqueued, len(small)+len(large))
+	}
+	e.Close()
+	if n := e.EnqueueAll(small); n != 0 {
+		t.Fatalf("EnqueueAll after Close admitted %d", n)
+	}
+}
+
+// TestDroppedSplitByReason pins the dropped-counter split: evictions of
+// queued samples count as "oldest", shed incoming samples as "new", and
+// the legacy aggregate stays their sum.
+func TestDroppedSplitByReason(t *testing.T) {
+	const q = 8
+	e := New(testModel(t), Config{QueueSize: q, IngestShards: 1})
+	defer e.Close()
+
+	e.mu.Lock() // stall the writer so the queue can only overflow
+	for i := 0; i < 4*q; i++ {
+		e.Enqueue(stream.Sample{User: 0, Service: i, Value: 1})
+	}
+	st := e.Stats()
+	e.mu.Unlock()
+
+	if st.DroppedOldest == 0 {
+		t.Fatalf("overflow produced no oldest-evictions: %+v", st)
+	}
+	if st.Dropped != st.DroppedNew+st.DroppedOldest {
+		t.Fatalf("Dropped %d != DroppedNew %d + DroppedOldest %d", st.Dropped, st.DroppedNew, st.DroppedOldest)
+	}
+	// Single producer, uncontended: the drop-oldest spin always frees a
+	// slot, so nothing should be shed as "new".
+	if st.DroppedNew != 0 {
+		t.Fatalf("uncontended overflow shed %d new samples", st.DroppedNew)
+	}
+}
+
+// TestObserveAllCloseRace is the regression test for the post-Close
+// fallback race: batches handed to the writer just as stop closes must be
+// applied exactly once — either by the writer's final drain or by the
+// caller's inline fallback, never both, never zero times.
+func TestObserveAllCloseRace(t *testing.T) {
+	const rounds = 40
+	for r := 0; r < rounds; r++ {
+		e := New(testModel(t), Config{PublishInterval: time.Hour, PublishEvery: 1 << 30})
+		const callers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				// One batch of 2 samples per caller; user/service IDs are
+				// unique per caller so registration counts double-apply too.
+				e.ObserveAll([]stream.Sample{
+					{User: c, Service: c, Value: 1},
+					{User: c, Service: c, Value: 2},
+				})
+			}(c)
+		}
+		closeDone := make(chan struct{})
+		go func() {
+			<-start
+			e.Close()
+			close(closeDone)
+		}()
+		close(start)
+		wg.Wait()
+		<-closeDone
+
+		// Exactly-once: every batch applied, none twice. Each sample is one
+		// SGD update, so the model's update count is the exact apply count.
+		if got, want := e.View().Updates(), int64(2*callers); got != want {
+			t.Fatalf("round %d: %d updates after close race, want exactly %d", r, got, want)
+		}
+		for c := 0; c < callers; c++ {
+			if !e.View().KnowsUser(c) {
+				t.Fatalf("round %d: caller %d's batch lost", r, c)
+			}
+		}
+	}
+}

@@ -170,6 +170,27 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// CounterFuncVec is a counter family partitioned by one label whose
+// series values are read at scrape time from external monotonic sources
+// (e.g. the engine's per-reason drop accounting).
+type CounterFuncVec struct {
+	f     *family
+	label string
+}
+
+// NewCounterFuncVec registers a scrape-time counter family distinguished
+// by the given label key. Add series with With.
+func (r *Registry) NewCounterFuncVec(name, help, label string) *CounterFuncVec {
+	checkName(label)
+	return &CounterFuncVec{f: r.addFamily(name, help, KindCounter), label: label}
+}
+
+// With adds one labeled series backed by fn. Call once per label value at
+// setup — duplicate values would render duplicate series.
+func (v *CounterFuncVec) With(value string, fn func() int64) {
+	v.f.add(&series{labels: renderLabel(v.label, value), intFn: fn})
+}
+
 // HistogramVec is a histogram family partitioned by one label.
 type HistogramVec struct {
 	f        *family

@@ -77,8 +77,10 @@ func (s *Server) buildMetrics() {
 	eng := s.eng
 	r.CounterFunc("amf_engine_enqueued_total", "Samples accepted into the ingest queue.",
 		func() int64 { return eng.Stats().Enqueued })
-	r.CounterFunc("amf_engine_dropped_total", "Samples shed under overload (drop-oldest + overflow).",
-		func() int64 { return eng.Stats().Dropped })
+	droppedVec := r.NewCounterFuncVec("amf_engine_dropped_total",
+		"Samples shed under overload, by reason: oldest = queued sample evicted to admit a fresher one, new = incoming sample shed after the eviction spin gave up.", "reason")
+	droppedVec.With("new", func() int64 { return eng.Stats().DroppedNew })
+	droppedVec.With("oldest", func() int64 { return eng.Stats().DroppedOldest })
 	r.CounterFunc("amf_engine_applied_total", "Samples applied to the model (ingest + sync batches).",
 		func() int64 { return eng.Stats().Applied })
 	r.CounterFunc("amf_engine_replayed_total", "Replay updates performed by or through the engine.",
@@ -101,6 +103,22 @@ func (s *Server) buildMetrics() {
 		"Per-update model apply latency (batch mean attributed to each update).", em.Apply)
 	r.RegisterHistogram("amf_engine_publish_seconds",
 		"View refresh+publish latency (dirty-shard reclone plus pointer swing).", em.Publish)
+
+	// Parallel training path (amf_train_*). The worker-count gauge is
+	// always exported (1 = serial writer) so dashboards can key on it;
+	// the trainer's own series exist only when -train-workers > 1.
+	r.GaugeFunc("amf_train_workers", "Parallel SGD training workers (1 = serial writer).",
+		func() float64 { return float64(eng.TrainWorkers()) })
+	if tm := eng.TrainMetrics(); tm != nil {
+		r.RegisterHistogram("amf_train_apply_seconds",
+			"Per-worker wall time applying one fan-out's slice of a training batch.", tm.Apply)
+		r.CounterFunc("amf_train_stripe_contention_total",
+			"Service-stripe lock acquisitions that found the stripe held by another worker.",
+			tm.StripeContention.Value)
+		r.CounterFunc("amf_train_batches_total",
+			"Training fan-outs coordinated across the worker pool.",
+			tm.Batches.Value)
+	}
 
 	// HTTP middleware metrics.
 	s.httpHist = r.NewHistogramVec("amf_http_request_duration_seconds",
