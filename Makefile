@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -30,16 +30,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Observability smoke check: vet, the obs package under the race
-# detector, the instrumentation-overhead benchmark (instrumented predict
-# path must stay within 5% of the uninstrumented one), and quick passes
-# over the ranking fast path's kernels (DotBatch) and top-K selection.
+# Observability + durability smoke check: vet, the obs package under the
+# race detector, the instrumentation-overhead benchmark (instrumented
+# predict path must stay within 5% of the uninstrumented one), quick
+# passes over the ranking fast path's kernels (DotBatch) and top-K
+# selection, and the durable-state layer's hot rows (engine journaling
+# tax, WAL append).
 bench-smoke: vet
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
 	$(GO) test -run=NONE -bench=BenchmarkDotBatch -benchtime=0.2s ./internal/matrix/
 	$(GO) test -run=NONE -bench='BenchmarkTopK/(legacy_rank_sort|heap)/10k' -benchmem -benchtime=0.2s ./internal/core/
 	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput/workers=(1|4)$$' -benchtime=0.2s ./internal/core/
+	$(GO) test -run=NONE -bench='BenchmarkObserveJournal/journal=(none|interval)' -benchtime=0.2s ./internal/engine/
+	$(GO) test -run=NONE -bench='BenchmarkWALAppend/(off|interval)' -benchtime=0.2s ./internal/store/
 
 # Full ranking fast-path benchmark, archived as machine-readable JSON
 # (BENCH_rank.json) via the benchjson parser. Compare runs across
@@ -57,9 +61,19 @@ bench-train:
 	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput' -benchmem -benchtime=0.5s ./internal/core/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_train.json
 
+# Durable-state layer benchmarks (WAL append per fsync policy, replay,
+# checkpoint, full crash-recovery path, and the engine's journaling tax),
+# archived as machine-readable JSON (BENCH_recovery.json). The
+# journal=interval row must stay within 10% of journal=none.
+bench-recovery:
+	{ $(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkWALReplay|BenchmarkCheckpoint|BenchmarkRecovery' -benchmem -benchtime=0.5s ./internal/store/ ; \
+	  $(GO) test -run=NONE -bench='BenchmarkObserveJournal' -benchmem -benchtime=0.5s ./internal/engine/ ; } \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_recovery.json
+
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/
 	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=30s ./internal/qosdb/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeEntry -fuzztime=30s ./internal/store/
 
 # Regenerate every table and figure at the default reduced scale.
 experiments:

@@ -27,6 +27,7 @@ import (
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/server"
+	"github.com/qoslab/amf/internal/store"
 )
 
 func main() {
@@ -45,9 +46,14 @@ func run(args []string) error {
 		replay   = fs.Duration("replay-interval", 100*time.Millisecond, "background replay tick")
 		batch    = fs.Int("replay-batch", 500, "replay updates per tick")
 		seed     = fs.Int64("seed", 1, "model seed")
-		state    = fs.String("state", "", "state file: restored at startup if present, saved on shutdown")
-		wal      = fs.String("wal", "", "QoS database write-ahead log; observations are appended and replayed at startup (pair with -state so IDs resolve)")
+		state    = fs.String("state", "", "legacy state file: restored at startup if present, saved on shutdown (prefer -data-dir)")
+		wal      = fs.String("wal", "", "QoS database directory; observations are appended and replayed at startup (a legacy text WAL file is converted in place)")
 		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
+
+		dataDir     = fs.String("data-dir", "", "durable-state directory: WAL journaling, periodic checkpoints, crash recovery (mutually exclusive with -state)")
+		fsyncPolicy = fs.String("fsync", "interval", "WAL fsync policy: always (acked = durable), interval (bounded loss), or off")
+		snapIvl     = fs.Duration("snapshot-interval", time.Minute, "background checkpoint cadence for -data-dir")
+		walSegBytes = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB default)")
 
 		queue        = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
 		trainWorkers = fs.Int("train-workers", 1, "parallel SGD training workers (rounded down to a power of two, max 64); 1 keeps the serial deterministic writer")
@@ -100,6 +106,36 @@ func run(args []string) error {
 	if *pprofFlag {
 		svc.EnablePprof()
 	}
+	if *dataDir != "" && *state != "" {
+		return errors.New("-data-dir and -state are mutually exclusive (the data directory subsumes the state file)")
+	}
+	sync, err := store.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		return err
+	}
+	var mgr *store.Manager
+	if *dataDir != "" {
+		mgr, err = store.Open(*dataDir, store.Options{
+			SegmentBytes:       *walSegBytes,
+			Sync:               sync,
+			CheckpointInterval: *snapIvl,
+			Logger:             logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		// Recover (checkpoint restore + WAL tail replay through the normal
+		// observe path), attach the journal, start the checkpointer — in
+		// that order, so replayed work is not re-journaled.
+		rs, err := svc.AttachDurable(mgr)
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		logger.Info("durable state ready", "dir", *dataDir,
+			"fsync", sync.String(), "snapshot_interval", *snapIvl,
+			"recovered_samples", rs.Samples, "checkpoint_seq", rs.CheckpointSeq)
+	}
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
 			if err := svc.LoadState(data); err != nil {
@@ -111,14 +147,23 @@ func run(args []string) error {
 		}
 	}
 	if *wal != "" {
-		db, err := qosdb.Open(*wal)
+		db, err := qosdb.OpenWithOptions(*wal, qosdb.Options{
+			Sync:         sync,
+			SegmentBytes: *walSegBytes,
+			Logger:       logger,
+		})
 		if err != nil {
 			return err
 		}
 		defer db.Close()
 		svc.SetStore(db)
-		if n := svc.ReplayStore(-1); n > 0 {
-			logger.Info("replayed observations from WAL", "count", n, "path", *wal)
+		// With -data-dir the engine recovers from its own journal; feeding
+		// the QoS database's history in again would double-train replayed
+		// samples.
+		if mgr == nil {
+			if n := svc.ReplayStore(-1); n > 0 {
+				logger.Info("replayed observations from WAL", "count", n, "path", *wal)
+			}
 		}
 	}
 	httpSrv := &http.Server{
@@ -166,7 +211,8 @@ func run(args []string) error {
 		"queue", *queue, "train_workers", eng.TrainWorkers(),
 		"publish_interval", *publishIvl, "publish_every", *publishEach,
 		"rank_parallel_threshold", *rankPar,
-		"wal", *wal, "state", *state,
+		"wal", *wal, "state", *state, "data_dir", *dataDir,
+		"fsync", sync.String(), "snapshot_interval", *snapIvl, "wal_segment_bytes", *walSegBytes,
 		"pprof", *pprofFlag, "metrics_compat", *metrCompat,
 		"log_level", *logLevel, "log_format", *logFormat)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -176,6 +222,14 @@ func run(args []string) error {
 	// observations make it into the saved state (Close is idempotent;
 	// the deferred call becomes a no-op).
 	svc.Close()
+	if mgr != nil {
+		// Final checkpoint: a graceful shutdown leaves nothing for the
+		// next start to replay. The deferred mgr.Close releases the WAL.
+		if err := mgr.Checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		logger.Info("final checkpoint written", "dir", *dataDir)
+	}
 	if *state != "" {
 		data, err := svc.SaveState()
 		if err != nil {

@@ -149,6 +149,7 @@ type Stats struct {
 	Version       uint64 // current view version
 	Updates       int64  // current view's model update count
 	TrainWorkers  int    // parallel training workers (1 = serial writer)
+	JournalErrors int64  // WAL appends that failed (model kept learning)
 }
 
 type syncBatch struct {
@@ -216,6 +217,17 @@ type Engine struct {
 	// it survives trainer rebuilds (Restore) and stays readable lock-free
 	// after Close. Nil when TrainWorkers <= 1.
 	trainMetrics *core.TrainerMetrics
+
+	// journal is the optional write-ahead log (see Journal, SetJournal),
+	// guarded by mu like all mutation state. drainBuf is the writer
+	// loop's reusable scratch for collecting a drained batch so it can be
+	// journaled as one record before it is applied; unused (and unsized)
+	// when no journal is attached. journalErrs counts appends that
+	// failed — the engine keeps serving, the store's fail-fast makes the
+	// gap visible.
+	journal     Journal
+	drainBuf    []stream.Sample
+	journalErrs atomic.Int64
 
 	// publish bookkeeping, guarded by mu.
 	sincePublish int       // model updates since the last publish
@@ -485,6 +497,11 @@ func (e *Engine) AdvanceTo(t time.Duration) {
 func (e *Engine) RemoveUser(id int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.journal != nil { // journal the departure before purging it
+		if _, err := e.journal.AppendRemoveUser(id); err != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 	e.model.RemoveUser(id)
 	e.publishLocked()
 }
@@ -493,6 +510,11 @@ func (e *Engine) RemoveUser(id int) {
 func (e *Engine) RemoveService(id int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.journal != nil {
+		if _, err := e.journal.AppendRemoveService(id); err != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 	e.model.RemoveService(id)
 	e.publishLocked()
 }
@@ -636,6 +658,7 @@ func (e *Engine) Stats() Stats {
 		Version:       v.Version(),
 		Updates:       v.Updates(),
 		TrainWorkers:  e.cfg.TrainWorkers,
+		JournalErrors: e.journalErrs.Load(),
 	}
 }
 
@@ -693,6 +716,11 @@ func (e *Engine) loop() {
 // and the batch apply time is attributed to each update as its mean — one
 // pair of clock reads per drain, not per update.
 //
+// With a journal attached, drained samples are first collected into
+// drainBuf and appended to the WAL as ONE record, and only then applied
+// — journal-before-apply, the recovery invariant (see Journal). The
+// journal-free path is untouched: samples apply inline as they drain.
+//
 // With a parallel trainer the drain becomes a two-phase coordinator:
 // phase one pulls queued samples into per-worker partitions (ingest shard
 // si feeds worker si&(W−1) — exact, because IngestShards ≥ W and both are
@@ -709,12 +737,16 @@ func (e *Engine) drainLocked() {
 	start := time.Now()
 	startNano := start.UnixNano()
 	parallel := e.trainer != nil
+	journaling := e.journal != nil
 	var wmask int
 	if parallel {
 		wmask = e.trainer.Workers() - 1
 		for i := range e.parts {
 			e.parts[i] = e.parts[i][:0]
 		}
+	}
+	if journaling {
+		e.drainBuf = e.drainBuf[:0]
 	}
 	drained := 0
 	for budget > 0 {
@@ -728,10 +760,13 @@ func (e *Engine) drainLocked() {
 					} else {
 						e.metrics.QueueWait.Observe(0)
 					}
+					if journaling {
+						e.drainBuf = append(e.drainBuf, q.s)
+					}
 					if parallel {
 						w := si & wmask
 						e.parts[w] = append(e.parts[w], q.s)
-					} else {
+					} else if !journaling {
 						e.model.Observe(q.s)
 					}
 					drained++
@@ -748,8 +783,17 @@ func (e *Engine) drainLocked() {
 		}
 	}
 	if drained > 0 {
+		if journaling {
+			// One record for the whole drained batch, BEFORE any of it
+			// touches the model.
+			e.journalSamplesLocked(e.drainBuf)
+		}
 		if parallel {
 			e.trainer.ApplyOwned(e.parts)
+		} else if journaling {
+			for _, s := range e.drainBuf {
+				e.model.Observe(s)
+			}
 		}
 		dur := time.Since(start).Seconds()
 		e.metrics.Apply.ObserveN(dur/float64(drained), int64(drained))
@@ -767,6 +811,7 @@ func (e *Engine) applyLocked(ss []stream.Sample) {
 	if len(ss) == 0 {
 		return
 	}
+	e.journalSamplesLocked(ss) // journal-before-apply
 	start := time.Now()
 	if e.trainer != nil {
 		e.trainer.Apply(ss)

@@ -1,0 +1,74 @@
+package engine
+
+import "github.com/qoslab/amf/internal/stream"
+
+// Journal is the engine's write-ahead log hook, satisfied by
+// *store.WAL. The writer loop journals every drained/synchronous batch
+// BEFORE applying it to the model, and every churn removal before
+// purging it — journal-before-apply, the invariant the recovery path
+// depends on. Because journaling and applying happen under the same
+// writer lock, "applied to the model" always implies "present in the
+// journal", so a checkpoint that records the journal's last sequence
+// number while the model is quiescent covers exactly the records it
+// claims to (see CheckpointSeq).
+//
+// With the journal's fsync policy set to always, ObserveAll's ack
+// additionally implies the batch is on stable storage: read-your-writes
+// becomes durable-your-writes.
+//
+// The engine keeps serving when a journal append fails (availability
+// over durability — the model still learns); failures are counted in
+// Stats.JournalErrors and in the store's own error metric, and the
+// store fails the log fast after the first lost write so the damage is
+// visible rather than a silent gap.
+type Journal interface {
+	// AppendSamples journals one batch of observations as one record.
+	AppendSamples(ss []stream.Sample) (seq uint64, err error)
+	// AppendRemoveUser journals a user churn departure.
+	AppendRemoveUser(id int) (seq uint64, err error)
+	// AppendRemoveService journals a service churn departure.
+	AppendRemoveService(id int) (seq uint64, err error)
+	// LastSeq returns the sequence number of the newest record.
+	LastSeq() uint64
+}
+
+// SetJournal attaches (or detaches, with nil) the write-ahead log. Call
+// it after recovery replay and before serving traffic: replayed samples
+// go through the normal observe path and must not be re-journaled, so
+// the recovery sequence is replay first, attach second.
+func (e *Engine) SetJournal(j Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = j
+}
+
+// journalSamplesLocked appends one batch to the journal, counting (and
+// tolerating) failures. Called under mu, always before the batch is
+// applied to the model.
+func (e *Engine) journalSamplesLocked(ss []stream.Sample) {
+	if e.journal == nil || len(ss) == 0 {
+		return
+	}
+	if _, err := e.journal.AppendSamples(ss); err != nil {
+		e.journalErrs.Add(1)
+	}
+}
+
+// CheckpointSeq publishes any pending model updates and returns the
+// journal's last sequence number. Because the writer journals and
+// applies under one lock, every record with seq <= the returned value is
+// reflected in the model — and therefore in any state snapshot taken
+// from the published view afterwards. This is the capture hook the
+// store.Manager checkpointer builds on. Returns 0 when no journal is
+// attached.
+func (e *Engine) CheckpointSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sincePublish > 0 {
+		e.publishLocked()
+	}
+	if e.journal == nil {
+		return 0
+	}
+	return e.journal.LastSeq()
+}

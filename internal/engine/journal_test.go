@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// fakeJournal is an in-memory Journal that records everything appended
+// to it, optionally failing every call.
+type fakeJournal struct {
+	mu       sync.Mutex
+	seq      uint64
+	samples  []stream.Sample
+	removals []struct {
+		user bool
+		id   int
+	}
+	fail bool
+}
+
+func (f *fakeJournal) AppendSamples(ss []stream.Sample) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return 0, errors.New("journal down")
+	}
+	f.seq++
+	f.samples = append(f.samples, ss...)
+	return f.seq, nil
+}
+
+func (f *fakeJournal) appendRemove(user bool, id int) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return 0, errors.New("journal down")
+	}
+	f.seq++
+	f.removals = append(f.removals, struct {
+		user bool
+		id   int
+	}{user, id})
+	return f.seq, nil
+}
+
+func (f *fakeJournal) AppendRemoveUser(id int) (uint64, error)    { return f.appendRemove(true, id) }
+func (f *fakeJournal) AppendRemoveService(id int) (uint64, error) { return f.appendRemove(false, id) }
+
+func (f *fakeJournal) LastSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+func (f *fakeJournal) sampleCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.samples)
+}
+
+// TestJournalAckImpliesJournaled: when ObserveAll returns, every sample
+// in the batch is in the journal — ack-after-journal.
+func TestJournalAckImpliesJournaled(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		e := New(testModel(t), Config{TrainWorkers: workers})
+		j := &fakeJournal{}
+		e.SetJournal(j)
+		ss := seedSamples(4, 5)
+		e.ObserveAll(ss)
+		if got := j.sampleCount(); got != len(ss) {
+			t.Fatalf("workers=%d: journal holds %d samples after ack, want %d", workers, got, len(ss))
+		}
+		e.Close()
+	}
+}
+
+// TestJournalCoversEnqueuedSamples: async-ingested samples are journaled
+// by the writer's drain before they are applied; after a Flush barrier
+// everything applied is in the journal.
+func TestJournalCoversEnqueuedSamples(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		e := New(testModel(t), Config{TrainWorkers: workers})
+		j := &fakeJournal{}
+		e.SetJournal(j)
+		ss := seedSamples(6, 6)
+		for _, s := range ss {
+			if !e.Enqueue(s) {
+				t.Fatal("enqueue rejected")
+			}
+		}
+		e.Flush()
+		if got := j.sampleCount(); got != len(ss) {
+			t.Fatalf("workers=%d: journal holds %d samples after flush, want %d", workers, got, len(ss))
+		}
+		if applied := e.Stats().Applied; applied != int64(len(ss)) {
+			t.Fatalf("applied %d, want %d", applied, len(ss))
+		}
+		e.Close()
+	}
+}
+
+// TestJournalRemovals: churn departures are journaled before the model
+// forgets them, so recovery does not resurrect deleted entities.
+func TestJournalRemovals(t *testing.T) {
+	e := New(testModel(t), Config{})
+	defer e.Close()
+	j := &fakeJournal{}
+	e.SetJournal(j)
+	e.ObserveAll(seedSamples(3, 3))
+	e.RemoveUser(1)
+	e.RemoveService(2)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.removals) != 2 {
+		t.Fatalf("journaled %d removals, want 2", len(j.removals))
+	}
+	if !j.removals[0].user || j.removals[0].id != 1 {
+		t.Fatalf("first removal: %+v", j.removals[0])
+	}
+	if j.removals[1].user || j.removals[1].id != 2 {
+		t.Fatalf("second removal: %+v", j.removals[1])
+	}
+}
+
+// TestJournalFailureKeepsServing: a failing journal is counted, not
+// fatal — the model still learns and predictions still work
+// (availability over durability).
+func TestJournalFailureKeepsServing(t *testing.T) {
+	e := New(testModel(t), Config{})
+	defer e.Close()
+	e.SetJournal(&fakeJournal{fail: true})
+	ss := seedSamples(4, 5)
+	e.ObserveAll(ss)
+	e.RemoveUser(99) // also counted, also non-fatal
+	st := e.Stats()
+	if st.JournalErrors < 2 {
+		t.Fatalf("JournalErrors=%d, want >= 2", st.JournalErrors)
+	}
+	if st.Applied != int64(len(ss)) {
+		t.Fatalf("applied %d, want %d — journal failure must not block learning", st.Applied, len(ss))
+	}
+	if _, err := e.Predict(0, 0); err != nil {
+		t.Fatalf("predict after journal failure: %v", err)
+	}
+}
+
+// TestCheckpointSeq: the returned sequence covers everything applied,
+// and the view is force-published so a snapshot taken after the call
+// reflects every covered record.
+func TestCheckpointSeq(t *testing.T) {
+	e := New(testModel(t), Config{})
+	defer e.Close()
+	if got := e.CheckpointSeq(); got != 0 {
+		t.Fatalf("no journal: CheckpointSeq=%d, want 0", got)
+	}
+	j := &fakeJournal{}
+	e.SetJournal(j)
+	e.ObserveAll(seedSamples(4, 5))
+	seq := e.CheckpointSeq()
+	if seq == 0 || seq != j.LastSeq() {
+		t.Fatalf("CheckpointSeq=%d, journal LastSeq=%d", seq, j.LastSeq())
+	}
+	if e.Stats().Updates == 0 {
+		t.Fatal("published view does not reflect applied updates")
+	}
+}

@@ -1,0 +1,158 @@
+package qosdb
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func quiet() Options {
+	return Options{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
+// TestLegacyConversion: a pre-segment text WAL file is converted to a
+// segment directory on first open, preserving every sample, and stays a
+// directory afterwards.
+func TestLegacyConversion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qos.wal")
+	text := "1000 0 1 1.5\n2000 0 1 2.5\n3000 2 3 0.25\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWithOptions(path, quiet())
+	if err != nil {
+		t.Fatalf("open legacy: %v", err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("converted %d samples, want 3", db.Len())
+	}
+	latest, ok := db.Latest(0, 1)
+	if !ok || latest.Value != 2.5 {
+		t.Fatalf("latest after conversion: %+v, %v", latest, ok)
+	}
+	// Post-conversion appends are durable in the new format.
+	if err := db.Append(sample(4000, 5, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("path should now be a segment directory: %v %v", fi, err)
+	}
+	again, err := OpenWithOptions(path, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != 4 {
+		t.Fatalf("reopened %d samples, want 4", again.Len())
+	}
+}
+
+// TestLegacyTornTailSemantics pins the exact torn-tail contract:
+// unparseable tail without newline -> dropped; parseable tail without
+// newline -> kept; unparseable line WITH newline -> error.
+func TestLegacyTornTailSemantics(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		want    int  // samples kept (when ok)
+		wantErr bool // open must fail
+	}{
+		{"torn-garbage", "1000 0 1 1.5\n2000 0 1", 1, false},
+		{"torn-parseable", "1000 0 1 1.5\n2000 0 1 2.5", 2, false},
+		{"complete-garbage", "1000 0 1 1.5\nnot a line\n", 0, true},
+		{"mid-file-garbage", "garbage\n1000 0 1 1.5\n", 0, true},
+		{"only-torn", "12", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "w")
+			if err := os.WriteFile(path, []byte(tc.text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			db, err := OpenWithOptions(path, quiet())
+			if tc.wantErr {
+				if err == nil {
+					db.Close()
+					t.Fatal("open should have failed")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer db.Close()
+			if db.Len() != tc.want {
+				t.Fatalf("kept %d samples, want %d", db.Len(), tc.want)
+			}
+		})
+	}
+}
+
+// TestLegacyInterruptedConversion: a crash after the text file was
+// removed but before the migrate directory was renamed leaves only
+// path+".migrate"; the next open completes the rename and loses nothing.
+func TestLegacyInterruptedConversion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qos.wal")
+	// Build a converted store at the migrate path, as step 2 would.
+	db, err := OpenWithOptions(legacyMigrateDir(path), quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Append(sample(time.Duration(i), i, i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No file at path: simulates the crash window between steps 3 and 4.
+	recovered, err := OpenWithOptions(path, quiet())
+	if err != nil {
+		t.Fatalf("interrupted conversion not completed: %v", err)
+	}
+	defer recovered.Close()
+	if recovered.Len() != 4 {
+		t.Fatalf("recovered %d samples, want 4", recovered.Len())
+	}
+	if _, err := os.Stat(legacyMigrateDir(path)); !os.IsNotExist(err) {
+		t.Fatalf("migrate leftovers survived: %v", err)
+	}
+}
+
+// TestLegacyStaleMigrateDiscarded: if the text file still exists, any
+// migrate directory is from an incomplete conversion and must be redone
+// from the (authoritative) file.
+func TestLegacyStaleMigrateDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qos.wal")
+	if err := os.WriteFile(path, []byte("1000 0 1 1.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stale, wrong-content migrate dir.
+	stale, err := OpenWithOptions(legacyMigrateDir(path), quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		stale.Append(sample(time.Duration(i), 9, 9, 9))
+	}
+	stale.Close()
+
+	db, err := OpenWithOptions(path, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != 1 {
+		t.Fatalf("stale migrate dir won over the file: %d samples, want 1", db.Len())
+	}
+}

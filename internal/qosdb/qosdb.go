@@ -1,13 +1,29 @@
 // Package qosdb implements the QoS database of the paper's prediction
 // service (Fig. 3): an append-only store of QoS observations with a
-// per-pair latest index, time-window queries, and an optional plain-text
-// write-ahead log so a restarted service can replay its history into a
-// fresh model.
+// per-pair latest index, time-window queries, and optional durability so
+// a restarted service can replay its history into a fresh model.
+//
+// Durability rides the shared internal/store segment writer: the path
+// given to Open is a directory holding CRC-protected binary WAL segments
+// (wal-*.seg) plus compaction checkpoints (checkpoint-*.ckpt). Compact
+// no longer rewrites a text file in place — it writes the kept samples
+// as a checkpoint, rotates the log, and truncates the covered segments,
+// each step atomic and idempotent, so a crash at any point leaves a
+// recoverable store.
+//
+// Earlier releases logged plain text lines ("timeNs user service value")
+// to a single file. Open keeps a one-release read-compat shim: a regular
+// file at the path is recognized as a legacy text WAL and converted to a
+// segment directory on first open (a torn trailing line — a crash
+// mid-append — is truncated with a warning; corruption anywhere else is
+// still an error). The shim is the only remaining consumer of the text
+// format.
 package qosdb
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
@@ -15,68 +31,236 @@ import (
 	"sync"
 	"time"
 
+	"github.com/qoslab/amf/internal/store"
 	"github.com/qoslab/amf/internal/stream"
 )
 
+// Options tunes a durable store. The zero value gets defaults.
+type Options struct {
+	// Sync is the WAL fsync policy (default store.SyncInterval: appends
+	// are flushed and fsynced on a background tick).
+	Sync store.SyncPolicy
+	// SegmentBytes is the WAL rotation threshold (default
+	// store.DefaultSegmentBytes).
+	SegmentBytes int64
+	// Metrics is an optional shared sink for WAL/checkpoint metrics.
+	Metrics *store.Metrics
+	// Logger receives conversion and torn-tail warnings (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
 // Store is a concurrency-safe observation database. The zero value is not
-// usable; construct with Open.
+// usable; construct with Open or OpenWithOptions.
 type Store struct {
 	mu     sync.RWMutex
 	log    []stream.Sample
 	latest map[[2]int]int // (user, service) -> index of newest sample
 	byUser map[int][]int  // user -> indices in arrival order
 
-	path string
-	wal  *os.File
-	bw   *bufio.Writer
+	dir  string
+	wal  *store.WAL
+	logg *slog.Logger
 }
 
-// Open creates a store. With a non-empty path, existing WAL contents are
-// replayed into memory and subsequent appends are logged to the file.
-// An empty path yields a memory-only store.
+// Open creates a store with default options. With a non-empty path,
+// durable contents (newest checkpoint + WAL tail, or a legacy text WAL)
+// are replayed into memory and subsequent appends are journaled. An
+// empty path yields a memory-only store.
 func Open(path string) (*Store, error) {
+	return OpenWithOptions(path, Options{})
+}
+
+// OpenWithOptions is Open with explicit durability tuning.
+func OpenWithOptions(path string, opts Options) (*Store, error) {
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
 	s := &Store{
 		latest: make(map[[2]int]int),
 		byUser: make(map[int][]int),
-		path:   path,
+		dir:    path,
+		logg:   opts.Logger,
 	}
 	if path == "" {
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err := convertLegacyWAL(path, opts); err != nil {
+		return nil, err
+	}
+	w, err := store.OpenWAL(path, store.WALOptions{
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Sync,
+		Metrics:      opts.Metrics,
+		Logger:       opts.Logger,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("qosdb: open wal: %w", err)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		sample, err := parseLine(text)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("qosdb: wal line %d: %w", line, err)
-		}
-		s.appendLocked(sample)
+	// Newest checkpoint first (the compacted prefix of history), then the
+	// WAL tail past it.
+	base, data, ok, err := store.LoadNewestCheckpoint(path, opts.Logger)
+	if err != nil {
+		w.Close()
+		return nil, fmt.Errorf("qosdb: load checkpoint: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
+	if ok {
+		ss, err := store.DecodeSamples(data)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("qosdb: decode checkpoint: %w", err)
+		}
+		for _, sample := range ss {
+			s.appendLocked(sample)
+		}
+	}
+	if err := w.Replay(base, func(e store.Entry) error {
+		if e.Kind != store.EntrySamples {
+			return fmt.Errorf("qosdb: unexpected wal entry kind %d", e.Kind)
+		}
+		for _, sample := range e.Samples {
+			s.appendLocked(sample)
+		}
+		return nil
+	}); err != nil {
+		w.Close()
 		return nil, fmt.Errorf("qosdb: replay wal: %w", err)
 	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("qosdb: seek wal: %w", err)
-	}
-	s.wal = f
-	s.bw = bufio.NewWriter(f)
+	s.wal = w
 	return s, nil
 }
 
-// parseLine decodes "timeNs user service value".
+// WALMetrics returns the metric sink of the underlying segment log, or
+// nil for a memory-only store.
+func (s *Store) WALMetrics() *store.Metrics {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Metrics()
+}
+
+// ---------------------------------------------------------------------------
+// Legacy text-WAL shim (one release of read compatibility).
+
+// legacyMigrateDir is where a conversion builds the segment directory
+// before atomically renaming it into place.
+func legacyMigrateDir(path string) string { return path + ".migrate" }
+
+// convertLegacyWAL upgrades a pre-segment text WAL file at path into a
+// segment directory at the same path. The dance is crash-safe:
+//
+//  1. parse the text file (strict, except a torn trailing line without a
+//     newline, which is truncated with a warning — the old writer could
+//     be killed mid-append),
+//  2. build a complete, synced segment directory at path+".migrate",
+//  3. remove the text file,
+//  4. rename the migrate directory to path.
+//
+// A crash between 3 and 4 leaves only the migrate directory; the next
+// open finds no file at path and finishes the rename. A crash earlier
+// leaves the text file untouched; the stale migrate directory is
+// discarded and the conversion redone.
+func convertLegacyWAL(path string, opts Options) error {
+	mig := legacyMigrateDir(path)
+	fi, err := os.Stat(path)
+	switch {
+	case os.IsNotExist(err):
+		// Finish an interrupted conversion (file already removed).
+		if mfi, merr := os.Stat(mig); merr == nil && mfi.IsDir() {
+			opts.Logger.Warn("qosdb: completing interrupted legacy wal conversion", "path", path)
+			return os.Rename(mig, path)
+		}
+		return nil
+	case err != nil:
+		return fmt.Errorf("qosdb: stat %s: %w", path, err)
+	case fi.IsDir():
+		return nil // already converted
+	}
+
+	// A regular file: the legacy text WAL. Any migrate leftovers are from
+	// a conversion that did not reach step 3 — incomplete, redo from the
+	// file, which is still authoritative.
+	if err := os.RemoveAll(mig); err != nil {
+		return fmt.Errorf("qosdb: clear stale migration: %w", err)
+	}
+	samples, torn, err := readLegacyWAL(path)
+	if err != nil {
+		return err
+	}
+	if torn != "" {
+		opts.Logger.Warn("qosdb: dropping torn trailing wal line",
+			"path", path, "bytes", len(torn))
+	}
+	w, err := store.OpenWAL(mig, store.WALOptions{
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         store.SyncOff,
+		Logger:       opts.Logger,
+	})
+	if err != nil {
+		return fmt.Errorf("qosdb: convert legacy wal: %w", err)
+	}
+	if len(samples) > 0 {
+		if _, err := w.AppendSamples(samples); err != nil {
+			w.Close()
+			return fmt.Errorf("qosdb: convert legacy wal: %w", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return fmt.Errorf("qosdb: convert legacy wal: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("qosdb: convert legacy wal: %w", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("qosdb: remove legacy wal: %w", err)
+	}
+	if err := os.Rename(mig, path); err != nil {
+		return fmt.Errorf("qosdb: install converted wal: %w", err)
+	}
+	opts.Logger.Info("qosdb: converted legacy text wal to segments",
+		"path", path, "samples", len(samples))
+	return nil
+}
+
+// readLegacyWAL parses a text WAL. Interior corruption is fatal; a torn
+// final line (missing its newline — the shape a crash mid-append leaves)
+// is returned for the caller to warn about, unless it happens to parse
+// as a complete record, in which case it is kept.
+func readLegacyWAL(path string) (samples []stream.Sample, torn string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("qosdb: read legacy wal: %w", err)
+	}
+	line := 0
+	for len(data) > 0 {
+		line++
+		var text []byte
+		nl := bytes.IndexByte(data, '\n')
+		complete := nl >= 0
+		if complete {
+			text, data = data[:nl], data[nl+1:]
+		} else {
+			text, data = data, nil
+		}
+		trimmed := strings.TrimSpace(string(text))
+		if trimmed == "" {
+			continue
+		}
+		sample, perr := parseLine(trimmed)
+		if perr != nil {
+			if !complete {
+				return samples, trimmed, nil // torn tail: truncate, keep the rest
+			}
+			return nil, "", fmt.Errorf("qosdb: wal line %d: %w", line, perr)
+		}
+		samples = append(samples, sample)
+	}
+	return samples, "", nil
+}
+
+// parseLine decodes a legacy "timeNs user service value" line. Retained
+// only for the conversion shim.
 func parseLine(text string) (stream.Sample, error) {
 	fields := strings.Fields(text)
 	if len(fields) != 4 {
@@ -104,21 +288,38 @@ func parseLine(text string) (stream.Sample, error) {
 	return stream.Sample{Time: time.Duration(ns), User: user, Service: service, Value: value}, nil
 }
 
+// formatLine encodes the legacy text format (shim/testing only).
 func formatLine(s stream.Sample) string {
 	return fmt.Sprintf("%d %d %d %s\n",
 		int64(s.Time), s.User, s.Service, strconv.FormatFloat(s.Value, 'g', -1, 64))
 }
 
-// Append stores one observation and, if a WAL is attached, logs it.
+// ---------------------------------------------------------------------------
+// Writes.
+
+// Append stores one observation and, if durable, journals it before it
+// becomes queryable.
 func (s *Store) Append(sample stream.Sample) error {
+	return s.AppendAll([]stream.Sample{sample})
+}
+
+// AppendAll stores a batch, journaled as one WAL record — the bulk path
+// for the observe endpoint (one CRC, one fsync under SyncAlways, instead
+// of per-sample records).
+func (s *Store) AppendAll(samples []stream.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.bw != nil {
-		if _, err := s.bw.WriteString(formatLine(sample)); err != nil {
+	if s.wal != nil {
+		if _, err := s.wal.AppendSamples(samples); err != nil {
 			return fmt.Errorf("qosdb: append wal: %w", err)
 		}
 	}
-	s.appendLocked(sample)
+	for _, sample := range samples {
+		s.appendLocked(sample)
+	}
 	return nil
 }
 
@@ -132,42 +333,38 @@ func (s *Store) appendLocked(sample stream.Sample) {
 	s.byUser[sample.User] = append(s.byUser[sample.User], idx)
 }
 
-// Flush forces buffered WAL writes to the OS.
+// Flush forces journaled appends to stable storage (fsync).
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
-}
-
-func (s *Store) flushLocked() error {
-	if s.bw == nil {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
 		return nil
 	}
-	if err := s.bw.Flush(); err != nil {
+	if err := w.Sync(); err != nil {
 		return fmt.Errorf("qosdb: flush wal: %w", err)
 	}
 	return nil
 }
 
 // Close flushes and closes the WAL (no-op for memory-only stores).
+// Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.flushLocked(); err != nil {
-		s.wal.Close()
-		return err
-	}
 	err := s.wal.Close()
 	s.wal = nil
-	s.bw = nil
 	if err != nil {
 		return fmt.Errorf("qosdb: close wal: %w", err)
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Reads.
 
 // Len returns the number of stored observations.
 func (s *Store) Len() int {
@@ -231,8 +428,12 @@ func (s *Store) Window(since time.Duration) []stream.Sample {
 	return out
 }
 
-// Compact rewrites the store (and its WAL, if any) keeping only samples
-// at or after since — the durable analogue of the model's data expiration.
+// Compact drops samples older than since — the durable analogue of the
+// model's data expiration. For a durable store the kept samples are
+// written as a checkpoint covering the WAL's current sequence number,
+// the log rotates, and covered segments are removed; every step is
+// atomic and idempotent, so a crash mid-compaction never loses acked
+// data (at worst the old segments survive until the next compaction).
 func (s *Store) Compact(since time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -251,45 +452,27 @@ func (s *Store) Compact(since time.Duration) error {
 	if s.wal == nil {
 		return nil
 	}
-	// Rewrite the WAL atomically: write a temp file, then rename over.
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	// Everything journaled so far is summarized by the kept set: persist
+	// it as a checkpoint at the current sequence, then retire the covered
+	// segments.
+	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("qosdb: compact: %w", err)
 	}
-	bw := bufio.NewWriter(f)
-	for _, sample := range s.log {
-		if _, err := bw.WriteString(formatLine(sample)); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("qosdb: compact write: %w", err)
-		}
+	seq := s.wal.LastSeq()
+	if seq == 0 {
+		return nil // nothing ever journaled; nothing to summarize
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("qosdb: compact flush: %w", err)
+	if err := store.WriteCheckpoint(s.dir, seq, store.EncodeSamples(kept)); err != nil {
+		return fmt.Errorf("qosdb: compact checkpoint: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("qosdb: compact close: %w", err)
+	if err := store.PruneCheckpoints(s.dir, store.DefaultRetain); err != nil {
+		return fmt.Errorf("qosdb: compact prune: %w", err)
 	}
-	if err := s.flushLocked(); err != nil {
-		os.Remove(tmp)
-		return err
+	if err := s.wal.Rotate(); err != nil {
+		return fmt.Errorf("qosdb: compact rotate: %w", err)
 	}
-	if err := s.wal.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("qosdb: compact swap: %w", err)
+	if err := s.wal.TruncateThrough(seq); err != nil {
+		return fmt.Errorf("qosdb: compact truncate: %w", err)
 	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		return fmt.Errorf("qosdb: compact rename: %w", err)
-	}
-	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("qosdb: compact reopen: %w", err)
-	}
-	s.wal = nf
-	s.bw = bufio.NewWriter(nf)
 	return nil
 }

@@ -68,6 +68,36 @@ func (r *Registry) Register(name string) (id int, created bool) {
 	return info.ID, true
 }
 
+// RegisterID registers a name under a specific ID — the WAL-replay path,
+// where the ID was assigned before the crash and must be reproduced
+// exactly (the model's factors are keyed by it). Replay is at-least-once,
+// so an identical existing registration is a no-op; a conflicting one
+// (name or ID already bound differently) is an error. The ID counter
+// advances past the forced ID so later registrations cannot collide.
+func (r *Registry) RegisterID(name string, id int) error {
+	if id < 0 {
+		return fmt.Errorf("registry: negative ID %d for %q", id, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if info, ok := r.byName[name]; ok {
+		if info.ID == id {
+			return nil // exact duplicate: idempotent replay
+		}
+		return fmt.Errorf("registry: name %q already bound to ID %d, not %d", name, info.ID, id)
+	}
+	if info, ok := r.byID[id]; ok {
+		return fmt.Errorf("registry: ID %d already bound to %q, not %q", id, info.Name, name)
+	}
+	info := &Info{ID: id, Name: name, Joined: r.now()}
+	r.byName[name] = info
+	r.byID[id] = info
+	if id >= r.nextID {
+		r.nextID = id + 1
+	}
+	return nil
+}
+
 // Lookup returns the ID for a registered name.
 func (r *Registry) Lookup(name string) (int, bool) {
 	r.mu.RLock()

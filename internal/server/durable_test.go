@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/store"
+)
+
+// quietLogger discards all structured log output; recovery tests churn
+// through warnings (torn tails, crash replays) on purpose.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// durableServer builds a Server attached to a fresh store.Manager on dir
+// with the given fsync policy. The background checkpointer is effectively
+// disabled (1h cadence) so tests control checkpoint timing explicitly.
+func durableServer(t *testing.T, dir string, sync store.SyncPolicy) (*Server, *store.Manager, store.RecoveryStats) {
+	t.Helper()
+	mgr, err := store.Open(dir, store.Options{
+		Sync:               sync,
+		SyncInterval:       5 * time.Millisecond,
+		CheckpointInterval: time.Hour,
+		Logger:             quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := New(core.MustNew(cfg), WithLogger(quietLogger()))
+	rs, err := svc.AttachDurable(mgr)
+	if err != nil {
+		t.Fatalf("AttachDurable: %v", err)
+	}
+	return svc, mgr, rs
+}
+
+// TestDurableCrashRecoveryProperty is the randomized crash-recovery
+// property test: drive a durable server through a random mix of observe
+// batches, entity deletions, and manual checkpoints; then "crash" (abandon
+// the manager and server without any shutdown protocol), reopen the data
+// directory with a fresh server, and assert that every acked observation
+// is reflected — each surviving (user, service) pair predicts, each
+// deleted entity stays deleted, and the recovered registries match the
+// pre-crash directories exactly. Under -fsync=always every acked write is
+// on stable storage, so nothing may be lost.
+func TestDurableCrashRecoveryProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			svc, _, _ := durableServer(t, dir, store.SyncAlways)
+
+			rng := rand.New(rand.NewSource(seed))
+			type pair struct{ user, service string }
+			acked := make(map[pair]bool) // pairs with at least one acked sample
+			deletedUsers := make(map[string]bool)
+			deletedServices := make(map[string]bool)
+			name := func(prefix string, n int) string {
+				return fmt.Sprintf("%s%d", prefix, rng.Intn(n))
+			}
+
+			const steps = 120
+			for i := 0; i < steps; i++ {
+				switch r := rng.Float64(); {
+				case r < 0.75: // observe a small random batch
+					var obs []Observation
+					for j := 0; j < 1+rng.Intn(4); j++ {
+						obs = append(obs, Observation{
+							User:    name("u", 12),
+							Service: name("s", 18),
+							Value:   0.1 + 5*rng.Float64(),
+						})
+					}
+					w := doReq(t, svc, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: obs})
+					if w.Code != http.StatusOK {
+						t.Fatalf("step %d: observe status %d: %s", i, w.Code, w.Body.String())
+					}
+					for _, o := range obs {
+						acked[pair{o.User, o.Service}] = true
+						delete(deletedUsers, o.User)
+						delete(deletedServices, o.Service)
+					}
+				case r < 0.83: // delete a user (maybe unknown; both fine)
+					u := name("u", 12)
+					w := doReq(t, svc, http.MethodDelete, "/api/v1/users?name="+u, nil)
+					if w.Code == http.StatusOK {
+						deletedUsers[u] = true
+					}
+				case r < 0.91: // delete a service
+					s := name("s", 18)
+					w := doReq(t, svc, http.MethodDelete, "/api/v1/services?name="+s, nil)
+					if w.Code == http.StatusOK {
+						deletedServices[s] = true
+					}
+				default: // manual checkpoint mid-stream
+					w := doReq(t, svc, http.MethodPost, "/api/v1/checkpoint", nil)
+					if w.Code != http.StatusOK {
+						t.Fatalf("step %d: checkpoint status %d: %s", i, w.Code, w.Body.String())
+					}
+				}
+			}
+
+			wantUsers := svc.users.List()
+			wantServices := svc.services.List()
+
+			// Crash: no engine close, no final checkpoint, no manager
+			// close. SyncAlways means everything acked is already on disk.
+			svc2, _, rs := durableServer(t, dir, store.SyncAlways)
+			defer svc2.Close()
+
+			gotUsers := svc2.users.List()
+			gotServices := svc2.services.List()
+			if len(gotUsers) != len(wantUsers) {
+				t.Fatalf("recovered %d users, want %d", len(gotUsers), len(wantUsers))
+			}
+			for i := range wantUsers {
+				if gotUsers[i].ID != wantUsers[i].ID || gotUsers[i].Name != wantUsers[i].Name {
+					t.Fatalf("user %d: recovered %d/%q, want %d/%q",
+						i, gotUsers[i].ID, gotUsers[i].Name, wantUsers[i].ID, wantUsers[i].Name)
+				}
+			}
+			if len(gotServices) != len(wantServices) {
+				t.Fatalf("recovered %d services, want %d", len(gotServices), len(wantServices))
+			}
+			for i := range wantServices {
+				if gotServices[i].ID != wantServices[i].ID || gotServices[i].Name != wantServices[i].Name {
+					t.Fatalf("service %d: recovered %d/%q, want %d/%q",
+						i, gotServices[i].ID, gotServices[i].Name, wantServices[i].ID, wantServices[i].Name)
+				}
+			}
+
+			for p := range acked {
+				wantOK := !deletedUsers[p.user] && !deletedServices[p.service]
+				w := doReq(t, svc2, http.MethodGet,
+					"/api/v1/predict?user="+p.user+"&service="+p.service, nil)
+				if wantOK && w.Code != http.StatusOK {
+					t.Errorf("acked pair (%s,%s): predict status %d after recovery: %s",
+						p.user, p.service, w.Code, w.Body.String())
+				}
+				if !wantOK && w.Code == http.StatusOK {
+					t.Errorf("deleted pair (%s,%s): predict unexpectedly OK after recovery",
+						p.user, p.service)
+				}
+			}
+			if rs.Entries == 0 && !rs.HaveCheckpoint {
+				t.Fatal("recovery found neither a checkpoint nor WAL entries")
+			}
+		})
+	}
+}
+
+// TestDurableRecoveryBoundedLossInterval exercises the fsync=interval
+// contract: after the flush window has elapsed, previously acked writes
+// are durable; a crash loses at most the unflushed tail. The test forces
+// a Sync (standing in for the background flush tick having fired) and
+// asserts zero loss for everything acked before it.
+func TestDurableRecoveryBoundedLossInterval(t *testing.T) {
+	dir := t.TempDir()
+	svc, mgr, _ := durableServer(t, dir, store.SyncInterval)
+
+	observeSome(t, svc)
+	if err := mgr.WAL().Sync(); err != nil { // the flush window closes
+		t.Fatalf("sync: %v", err)
+	}
+
+	// Crash without shutdown; reopen and verify the synced prefix.
+	svc2, _, rs := durableServer(t, dir, store.SyncInterval)
+	defer svc2.Close()
+	if rs.Samples < 20 {
+		t.Fatalf("recovered %d samples, want >= 20 (all acked before the flush)", rs.Samples)
+	}
+	w := doReq(t, svc2, http.MethodGet, "/api/v1/predict?user=u1&service=s2", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict after interval recovery: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestDurableDoubleAttach pins the one-shot contract.
+func TestDurableDoubleAttach(t *testing.T) {
+	dir := t.TempDir()
+	svc, mgr, _ := durableServer(t, dir, store.SyncOff)
+	defer svc.Close()
+	if _, err := svc.AttachDurable(mgr); err == nil {
+		t.Fatal("second AttachDurable should fail")
+	}
+}
+
+// TestCheckpointEndpointWithoutStore pins the 501 contract.
+func TestCheckpointEndpointWithoutStore(t *testing.T) {
+	svc := testServer(t)
+	defer svc.Close()
+	w := doReq(t, svc, http.MethodPost, "/api/v1/checkpoint", nil)
+	if w.Code != http.StatusNotImplemented {
+		t.Fatalf("checkpoint without store: status %d, want 501", w.Code)
+	}
+}
+
+// TestDurableMetrics scrapes /metrics with a durable store attached —
+// after a crash recovery, so the recovery counter is live — and
+// validates the whole page plus the new amf_wal_* / amf_checkpoint_* /
+// amf_recovery_* families through the strict in-repo parser.
+func TestDurableMetrics(t *testing.T) {
+	dir := t.TempDir()
+	svc, _, _ := durableServer(t, dir, store.SyncAlways)
+	observeSome(t, svc)
+	// Crash (abandon) and recover so amf_recovery_replayed_total > 0.
+	svc2, _, rs := durableServer(t, dir, store.SyncAlways)
+	defer svc2.Close()
+	if rs.Samples == 0 {
+		t.Fatal("recovery replayed no samples")
+	}
+	observeSome(t, svc2) // journal fresh records on the recovered WAL
+	w := doReq(t, svc2, http.MethodPost, "/api/v1/checkpoint", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", w.Code, w.Body.String())
+	}
+
+	w = doReq(t, svc2, http.MethodGet, "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	tm, err := obs.ParseMetrics(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, w.Body.String())
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("/metrics does not validate: %v\n%s", err, w.Body.String())
+	}
+	value := func(fam string) float64 {
+		t.Helper()
+		f, ok := tm.Families[fam]
+		if !ok {
+			t.Fatalf("metrics missing family %s", fam)
+		}
+		if len(f.Samples) == 0 {
+			t.Fatalf("family %s has no samples", fam)
+		}
+		return f.Samples[0].Value
+	}
+	for _, fam := range []string{
+		"amf_wal_fsync_seconds",
+		"amf_wal_appends_total",
+		"amf_wal_bytes_total",
+		"amf_wal_errors_total",
+		"amf_wal_torn_truncations_total",
+		"amf_wal_segments",
+		"amf_checkpoint_seconds",
+		"amf_checkpoints_total",
+		"amf_checkpoint_age_seconds",
+		"amf_recovery_replayed_total",
+		"amf_journal_errors_total",
+	} {
+		value(fam) // existence + sample presence
+	}
+	if v := value("amf_recovery_replayed_total"); v < float64(rs.Samples) {
+		t.Errorf("amf_recovery_replayed_total = %v, want >= %d", v, rs.Samples)
+	}
+	if v := value("amf_checkpoints_total"); v < 1 {
+		t.Errorf("amf_checkpoints_total = %v, want >= 1", v)
+	}
+	if v := value("amf_wal_appends_total"); v < 1 {
+		t.Errorf("amf_wal_appends_total = %v, want >= 1", v)
+	}
+}
+
+// TestCrashChildHelper is not a test: it is the child half of the
+// kill-restart integration test below. Re-invoked via os.Args[0] with
+// AMF_CRASH_CHILD=1, it runs a real durable server on a real TCP socket
+// until the parent SIGKILLs it.
+func TestCrashChildHelper(t *testing.T) {
+	if os.Getenv("AMF_CRASH_CHILD") != "1" {
+		t.Skip("crash-test child helper; run via TestDurableKillRestart")
+	}
+	dir := os.Getenv("AMF_CRASH_DIR")
+	mgr, err := store.Open(dir, store.Options{
+		Sync:               store.SyncAlways,
+		CheckpointInterval: time.Hour,
+		Logger:             quietLogger(),
+	})
+	if err != nil {
+		fmt.Printf("CHILD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := New(core.MustNew(cfg), WithLogger(quietLogger()))
+	if _, err := svc.AttachDurable(mgr); err != nil {
+		fmt.Printf("CHILD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHILD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("CHILD_ADDR=%s\n", ln.Addr().String())
+	_ = http.Serve(ln, svc.Handler()) // runs until SIGKILL
+}
+
+// TestDurableKillRestart is the end-to-end crash test from the issue: a
+// real child process serving HTTP on a durable data directory with
+// fsync=always is killed with SIGKILL (no shutdown protocol of any kind),
+// and the parent then recovers the directory in-process and verifies that
+// every observation the child acked with a 200 is reflected in the
+// recovered model. Zero acked loss is the always-policy contract.
+func TestDurableKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChildHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "AMF_CRASH_CHILD=1", "AMF_CRASH_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Wait for the child to report its listen address.
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if a, ok := strings.CutPrefix(line, "CHILD_ADDR="); ok {
+				addrCh <- a
+				return
+			}
+			if e, ok := strings.CutPrefix(line, "CHILD_ERR="); ok {
+				addrCh <- "ERR:" + e
+				return
+			}
+		}
+		addrCh <- "ERR:child exited without address"
+	}()
+	select {
+	case a := <-addrCh:
+		if strings.HasPrefix(a, "ERR:") {
+			t.Fatalf("child failed: %s", a)
+		}
+		addr = a
+	case <-deadline:
+		t.Fatal("timed out waiting for child address")
+	}
+
+	// Drive acked observations over real HTTP. Every 200 is a durability
+	// promise under fsync=always.
+	client := &http.Client{Timeout: 5 * time.Second}
+	type pair struct{ user, service string }
+	var acked []pair
+	for i := 0; i < 25; i++ {
+		u := fmt.Sprintf("ku%d", i%5)
+		s := fmt.Sprintf("ks%d", i%7)
+		body := fmt.Sprintf(`{"observations":[{"user":%q,"service":%q,"value":%g}]}`,
+			u, s, 0.5+float64(i%4))
+		resp, err := client.Post("http://"+addr+"/api/v1/observe", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			acked = append(acked, pair{u, s})
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("no observations were acked")
+	}
+
+	// SIGKILL: the child gets no chance to flush, checkpoint, or close.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill child: %v", err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	// Recover the directory in-process and verify zero acked loss.
+	svc, _, rs := durableServer(t, dir, store.SyncAlways)
+	defer svc.Close()
+	if rs.Samples < len(acked) {
+		t.Errorf("recovered %d samples, want >= %d acked", rs.Samples, len(acked))
+	}
+	for _, p := range acked {
+		w := doReq(t, svc, http.MethodGet,
+			"/api/v1/predict?user="+p.user+"&service="+p.service, nil)
+		if w.Code != http.StatusOK {
+			t.Errorf("acked pair (%s,%s) lost after SIGKILL: predict status %d: %s",
+				p.user, p.service, w.Code, w.Body.String())
+		}
+	}
+}

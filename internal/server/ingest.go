@@ -21,8 +21,20 @@ func (s *Server) Ingest(user, service string, value float64, timestampMs int64) 
 	if value < 0 {
 		return fmt.Errorf("server: negative QoS value %g", value)
 	}
-	uid, _ := s.users.Register(user)
-	sid, _ := s.services.Register(service)
+	uid, newU := s.users.Register(user)
+	sid, newS := s.services.Register(service)
+	// Journal new name⇄ID bindings before the sample can reach the
+	// engine's journal (Enqueue happens below, so the drain that journals
+	// this sample is strictly later): replay then rebuilds the directory
+	// entry before re-training the factors keyed by it.
+	if s.durable != nil {
+		if newU {
+			s.journalRegistration(s.durable.WAL().AppendRegisterUser, uid, user)
+		}
+		if newS {
+			s.journalRegistration(s.durable.WAL().AppendRegisterService, sid, service)
+		}
+	}
 	t := s.now().Sub(s.base)
 	if timestampMs > 0 {
 		t = time.UnixMilli(timestampMs).Sub(s.base)

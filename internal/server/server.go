@@ -14,6 +14,7 @@ import (
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/registry"
+	"github.com/qoslab/amf/internal/store"
 	"github.com/qoslab/amf/internal/stream"
 )
 
@@ -51,6 +52,10 @@ type Server struct {
 
 	// store is the optional QoS database (see SetStore).
 	store *qosdb.Store
+
+	// durable is the optional durable-state manager (see AttachDurable):
+	// WAL journaling, background checkpoints, crash recovery.
+	durable *store.Manager
 
 	// Observability (see obs.go): the metric registry behind /metrics,
 	// request middleware state, the live accuracy tracker, and the
@@ -184,6 +189,7 @@ func (s *Server) routes() {
 	s.handle("DELETE /api/v1/users", s.handleDeleteUser)
 	s.handle("DELETE /api/v1/services", s.handleDeleteService)
 	s.stateRoutes()
+	s.durableRoutes()
 	s.historyRoutes()
 	s.metricsRoutes()
 	s.flaggedRoutes()
@@ -291,9 +297,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		sid, newS := s.services.Register(o.Service)
 		if newU {
 			resp.NewUsers++
+			// Journal the name⇄ID binding before the samples that use the
+			// new ID; without it a recovered model would hold factors for
+			// an ID no name resolves to.
+			if s.durable != nil {
+				s.journalRegistration(s.durable.WAL().AppendRegisterUser, uid, o.User)
+			}
 		}
 		if newS {
 			resp.NewServices++
+			if s.durable != nil {
+				s.journalRegistration(s.durable.WAL().AppendRegisterService, sid, o.Service)
+			}
 		}
 		t := s.now().Sub(s.base)
 		if o.TimestampMs > 0 {
@@ -305,11 +320,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		samples = append(samples, stream.Sample{Time: t, User: uid, Service: sid, Value: o.Value})
 	}
 	if s.store != nil {
-		for _, sample := range samples {
-			if err := s.store.Append(sample); err != nil {
-				s.countError(w, http.StatusInternalServerError, "qos database: %v", err)
-				return
-			}
+		// One WAL record (one CRC, one fsync under SyncAlways) for the
+		// whole request instead of a record per sample.
+		if err := s.store.AppendAll(samples); err != nil {
+			s.countError(w, http.StatusInternalServerError, "qos database: %v", err)
+			return
 		}
 	}
 	// Live accuracy: score each incoming value against the model's prior

@@ -25,20 +25,30 @@ type persistedState struct {
 // deliberately excluded). The model bytes come from the engine's
 // published view, so saving state never blocks the update path.
 func (s *Server) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.encodeState(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeState streams the persisted state to w without materializing the
+// gob image in memory first (the model snapshot itself is one buffer; the
+// gob framing and registry lists stream).
+func (s *Server) encodeState(w io.Writer) error {
 	model, err := s.eng.Snapshot()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	st := persistedState{
 		Model:    model,
 		Users:    s.users.List(),
 		Services: s.services.List(),
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, fmt.Errorf("server: encode state: %w", err)
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("server: encode state: %w", err)
 	}
-	return buf.Bytes(), nil
+	return nil
 }
 
 // LoadState replaces the service's model and registries with a state
@@ -71,16 +81,37 @@ func (s *Server) stateRoutes() {
 	s.handle("POST /api/v1/snapshot", s.handlePostSnapshot)
 }
 
-// handleGetSnapshot streams the persisted state (operational backup).
-func (s *Server) handleGetSnapshot(w http.ResponseWriter, _ *http.Request) {
-	data, err := s.SaveState()
-	if err != nil {
-		s.countError(w, http.StatusInternalServerError, "snapshot: %v", err)
+// handleGetSnapshot streams the persisted state (operational backup)
+// straight to the response — no full-image buffer per download. The ETag
+// is the durable sequence number the snapshot covers (the WAL position
+// when a store is attached, the view version otherwise), so a backup
+// client can If-None-Match and skip the download when nothing changed.
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
+	var etag string
+	if s.durable != nil {
+		// Publishes pending updates first, so the streamed view covers
+		// every journaled record the tag names.
+		etag = fmt.Sprintf(`"seq-%d"`, s.eng.CheckpointSeq())
+	} else {
+		etag = fmt.Sprintf(`"view-%d"`, s.eng.View().Version())
+	}
+	if r.Header.Get("If-None-Match") == etag {
+		s.countStatus(http.StatusNotModified)
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	s.countStatus(http.StatusOK)
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(data)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Disposition", `attachment; filename="amf-state.gob"`)
+	h.Set("ETag", etag)
+	if err := s.encodeState(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short (the
+		// gob decoder on the other end will reject the truncation) and
+		// log why.
+		s.log.Warn("snapshot stream failed", "err", err)
+	}
 }
 
 // handlePostSnapshot restores the service from an uploaded state.

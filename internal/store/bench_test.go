@@ -1,0 +1,179 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Benchmarks for the durable-state layer. `make bench-recovery` archives
+// these as BENCH_recovery.json: the WAL append cost under each fsync
+// policy is the per-observe durability tax, the replay and recovery rows
+// are the restart-time budget (the paper's online setting has no offline
+// retraining window, so recovery time is serving downtime).
+
+func benchSamples(n int) []stream.Sample {
+	ss := make([]stream.Sample, n)
+	for i := range ss {
+		ss[i] = stream.Sample{
+			Time:    time.Duration(i) * time.Millisecond,
+			User:    i % 140,
+			Service: i % 4500,
+			Value:   0.5 + float64(i%40)/10,
+		}
+	}
+	return ss
+}
+
+func quietLog() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// BenchmarkWALAppend measures one batched observe journal append (16
+// samples per record, the common HTTP batch shape) under each fsync
+// policy. The always row is a real fsync per op — expect disk, not CPU.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []SyncPolicy{SyncOff, SyncInterval, SyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			w, err := OpenWAL(b.TempDir(), WALOptions{Sync: pol, Logger: quietLog()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			batch := benchSamples(16)
+			b.SetBytes(int64(len(EncodeSamples(batch))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.AppendSamples(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALReplay measures decoding + callback dispatch over a
+// prebuilt log: the per-record half of crash-recovery cost.
+func BenchmarkWALReplay(b *testing.B) {
+	for _, records := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := OpenWAL(dir, WALOptions{Sync: SyncOff, Logger: quietLog()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := benchSamples(16)
+			for i := 0; i < records; i++ {
+				if _, err := w.AppendSamples(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := OpenWAL(dir, WALOptions{Sync: SyncOff, Logger: quietLog()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var n int
+				if err := r.Replay(0, func(e Entry) error { n += len(e.Samples); return nil }); err != nil {
+					b.Fatal(err)
+				}
+				if n != records*len(batch) {
+					b.Fatalf("replayed %d samples, want %d", n, records*len(batch))
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpoint measures one full checkpoint cycle on a manager
+// (capture + atomic temp→fsync→rename + retention prune + WAL rotate +
+// truncate) for a fixed-size state blob.
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, kb := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("state=%dKiB", kb), func(b *testing.B) {
+			m, err := Open(b.TempDir(), Options{Sync: SyncOff, CheckpointInterval: time.Hour, Logger: quietLog()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			if _, err := m.Recover(func([]byte) error { return nil }, func(Entry) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			blob := make([]byte, kb<<10)
+			m.SetCaptureForTest(func() (uint64, []byte, error) { return m.WAL().LastSeq(), blob, nil })
+			batch := benchSamples(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.WAL().AppendSamples(batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures the manager's full restart path — open the
+// directory, restore the newest checkpoint, replay the WAL tail — over a
+// log that carries the given number of 16-sample records past the
+// checkpoint. This is the downtime a crash costs.
+func BenchmarkRecovery(b *testing.B) {
+	for _, records := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("tail=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			m, err := Open(dir, Options{Sync: SyncOff, CheckpointInterval: time.Hour, Logger: quietLog()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Recover(func([]byte) error { return nil }, func(Entry) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			blob := make([]byte, 256<<10)
+			m.SetCaptureForTest(func() (uint64, []byte, error) { return m.WAL().LastSeq(), blob, nil })
+			batch := benchSamples(16)
+			if _, err := m.WAL().AppendSamples(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				if _, err := m.WAL().AppendSamples(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+			want := records * len(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Open(dir, Options{Sync: SyncOff, CheckpointInterval: time.Hour, Logger: quietLog()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var samples int
+				rs, err := r.Recover(func([]byte) error { return nil }, func(e Entry) error {
+					samples += len(e.Samples)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rs.HaveCheckpoint || samples != want {
+					b.Fatalf("recovery: checkpoint=%v samples=%d want=%d", rs.HaveCheckpoint, samples, want)
+				}
+				r.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func openManager(t *testing.T, dir string, opts Options) *Manager {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	m, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m
+}
+
+// TestManagerCheckpointAndRecover runs the full durable-state cycle:
+// journal, checkpoint, journal a tail, crash (no final checkpoint),
+// recover = restore + tail replay only.
+func TestManagerCheckpointAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncAlways})
+
+	// "Apply" = collect samples into state; capture serializes it.
+	var state []stream.Sample
+	for i := 0; i < 5; i++ {
+		if _, err := m.WAL().AppendSamples(sampleBatch(i*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+		state = append(state, sampleBatch(i*10, 2)...)
+	}
+	m.SetCaptureForTest(func() (uint64, []byte, error) {
+		return m.WAL().LastSeq(), EncodeSamples(state), nil
+	})
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics().Checkpoints.Load() != 1 {
+		t.Fatal("checkpoint counter not bumped")
+	}
+	// Tail past the checkpoint.
+	if _, err := m.WAL().AppendSamples(sampleBatch(900, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon without Close (SyncAlways ⇒ everything acked is on disk).
+
+	m2 := openManager(t, dir, Options{Sync: SyncAlways})
+	var restored []stream.Sample
+	var tail []stream.Sample
+	rs, err := m2.Recover(
+		func(data []byte) error {
+			ss, err := DecodeSamples(data)
+			restored = ss
+			return err
+		},
+		func(e Entry) error {
+			if e.Kind != EntrySamples {
+				return fmt.Errorf("unexpected kind %d", e.Kind)
+			}
+			tail = append(tail, e.Samples...)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rs.HaveCheckpoint || rs.CheckpointSeq != 5 {
+		t.Fatalf("stats: %+v", rs)
+	}
+	if rs.Entries != 1 || rs.Samples != 3 {
+		t.Fatalf("tail stats: %+v", rs)
+	}
+	if len(restored) != 10 {
+		t.Fatalf("restored %d samples, want 10", len(restored))
+	}
+	want := sampleBatch(900, 3)
+	if len(tail) != 3 || tail[0] != want[0] || tail[2] != want[2] {
+		t.Fatalf("tail: %+v", tail)
+	}
+	if m2.Metrics().RecoveryReplayed.Load() != 3 {
+		t.Fatalf("RecoveryReplayed=%d, want 3", m2.Metrics().RecoveryReplayed.Load())
+	}
+	m2.Close()
+}
+
+func TestManagerCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncOff, SegmentBytes: 200})
+	for i := 0; i < 10; i++ {
+		if _, err := m.WAL().AppendSamples(sampleBatch(i*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.WAL().SegmentCount() < 3 {
+		t.Fatalf("need rotation, got %d segments", m.WAL().SegmentCount())
+	}
+	m.SetCaptureForTest(func() (uint64, []byte, error) {
+		return m.WAL().LastSeq(), []byte("full-state"), nil
+	})
+	before := m.WAL().SegmentCount()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if after := m.WAL().SegmentCount(); after >= before {
+		t.Fatalf("checkpoint did not truncate segments (%d -> %d)", before, after)
+	}
+	// Recovery after the checkpoint replays nothing.
+	m.Close()
+	m2 := openManager(t, dir, Options{Sync: SyncOff})
+	var blob []byte
+	rs, err := m2.Recover(func(d []byte) error { blob = d; return nil }, func(Entry) error {
+		t.Fatal("nothing should replay after a covering checkpoint")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.HaveCheckpoint || !bytes.Equal(blob, []byte("full-state")) {
+		t.Fatalf("recover: %+v blob=%q", rs, blob)
+	}
+	m2.Close()
+}
+
+func TestManagerBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncOff, CheckpointInterval: 10 * time.Millisecond})
+	if _, err := m.WAL().AppendSamples(sampleBatch(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Start(func() (uint64, []byte, error) {
+		return m.WAL().LastSeq(), []byte("bg"), nil
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Metrics().Checkpoints.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Metrics().Checkpoints.Load() == 0 {
+		t.Fatal("background checkpointer never fired")
+	}
+	if m.Metrics().CheckpointAge() > 60 {
+		t.Fatalf("checkpoint age implausible: %v", m.Metrics().CheckpointAge())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and Start after Close is a no-op.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.Start(func() (uint64, []byte, error) { return 0, nil, nil })
+}
+
+func TestManagerCheckpointWithoutCapture(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	defer m.Close()
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without capture must error")
+	}
+}
+
+func TestRecoverRemovalEntries(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncOff})
+	if _, err := m.WAL().AppendSamples(sampleBatch(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WAL().AppendRemoveUser(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WAL().AppendRemoveService(2); err != nil {
+		t.Fatal(err)
+	}
+	m.WAL().Sync()
+
+	var kinds []EntryKind
+	rs, err := m.Recover(func([]byte) error { return nil }, func(e Entry) error {
+		kinds = append(kinds, e.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Removals != 2 || rs.Samples != 2 || len(kinds) != 3 {
+		t.Fatalf("stats: %+v kinds=%v", rs, kinds)
+	}
+	if kinds[1] != EntryRemoveUser || kinds[2] != EntryRemoveService {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	m.Close()
+}

@@ -1,0 +1,386 @@
+package store
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/stream"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testWAL(t *testing.T, dir string, opts WALOptions) *WAL {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	w, err := OpenWAL(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w
+}
+
+func sampleBatch(base, n int) []stream.Sample {
+	out := make([]stream.Sample, n)
+	for i := range out {
+		out[i] = stream.Sample{
+			Time:    time.Duration(base+i) * time.Millisecond,
+			User:    (base + i) % 97,
+			Service: (base + i) % 31,
+			Value:   float64(base+i) * 0.5,
+		}
+	}
+	return out
+}
+
+func replayAll(t *testing.T, w *WAL, from uint64) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := w.Replay(from, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	want := [][]stream.Sample{sampleBatch(0, 3), sampleBatch(100, 1), sampleBatch(200, 7)}
+	for i, b := range want {
+		seq, err := w.AppendSamples(b)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if _, err := w.AppendRemoveUser(42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendRemoveService(7); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, w, 0)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d entries, want 5", len(got))
+	}
+	for i, b := range want {
+		e := got[i]
+		if e.Kind != EntrySamples || e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d: kind=%d seq=%d", i, e.Kind, e.Seq)
+		}
+		if len(e.Samples) != len(b) {
+			t.Fatalf("entry %d: %d samples, want %d", i, len(e.Samples), len(b))
+		}
+		for j := range b {
+			if e.Samples[j] != b[j] {
+				t.Fatalf("entry %d sample %d: %+v != %+v", i, j, e.Samples[j], b[j])
+			}
+		}
+	}
+	if got[3].Kind != EntryRemoveUser || got[3].ID != 42 {
+		t.Fatalf("entry 3: %+v", got[3])
+	}
+	if got[4].Kind != EntryRemoveService || got[4].ID != 7 {
+		t.Fatalf("entry 4: %+v", got[4])
+	}
+
+	// Partial replay skips covered entries.
+	tail := replayAll(t, w, 3)
+	if len(tail) != 2 || tail[0].Seq != 4 {
+		t.Fatalf("tail replay: %+v", tail)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	for i := 0; i < 5; i++ {
+		if _, err := w.AppendSamples(sampleBatch(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	if w2.LastSeq() != 5 {
+		t.Fatalf("reopened LastSeq=%d, want 5", w2.LastSeq())
+	}
+	seq, err := w2.AppendSamples(sampleBatch(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("append after reopen: seq %d, want 6", seq)
+	}
+	if got := replayAll(t, w2, 0); len(got) != 6 {
+		t.Fatalf("replayed %d, want 6", len(got))
+	}
+	w2.Close()
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every batch of 4 samples (~150B) rotates quickly.
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff, SegmentBytes: 256})
+	for i := 0; i < 10; i++ {
+		if _, err := w.AppendSamples(sampleBatch(i*10, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := w.SegmentCount(); n < 3 {
+		t.Fatalf("expected rotation to produce >=3 segments, got %d", n)
+	}
+	if got := replayAll(t, w, 0); len(got) != 10 {
+		t.Fatalf("replay across segments: %d entries, want 10", len(got))
+	}
+
+	// Truncation through seq 6 must keep everything > 6 replayable.
+	before := w.SegmentCount()
+	if err := w.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if after := w.SegmentCount(); after >= before {
+		t.Fatalf("truncate removed nothing (%d -> %d segments)", before, after)
+	}
+	got := replayAll(t, w, 6)
+	if len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("post-truncate tail: %d entries, first seq %v", len(got), got)
+	}
+	// The open segment is never removed.
+	if err := w.TruncateThrough(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	if w.SegmentCount() != 1 {
+		t.Fatalf("full truncate left %d segments, want 1", w.SegmentCount())
+	}
+	w.Close()
+
+	// Reopen after truncation: sequence numbering continues.
+	w2 := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	if w2.LastSeq() != 10 {
+		t.Fatalf("LastSeq after truncate+reopen = %d, want 10", w2.LastSeq())
+	}
+	w2.Close()
+}
+
+// TestWALTornTailTruncatedAtEveryOffset is the torn-tail property test:
+// however many bytes of the final record made it to disk, open must
+// recover exactly the intact prefix and keep appending from there.
+func TestWALTornTailTruncatedAtEveryOffset(t *testing.T) {
+	build := func(t *testing.T, dir string) (lastPath string, intactSize int64) {
+		w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+		for i := 0; i < 3; i++ {
+			if _, err := w.AppendSamples(sampleBatch(i*10, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segments: %v %v", segs, err)
+		}
+		lastPath = filepath.Join(dir, segs[0].name)
+		fi, err := os.Stat(lastPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		return lastPath, fi.Size()
+	}
+
+	probe := t.TempDir()
+	_, full := build(t, probe)
+	// Size of the last record = total - size after two records.
+	recSize := int64(recHeaderSize + 5 + 2*sampleWire)
+	intact := full - recSize
+
+	for cut := intact; cut < full; cut++ {
+		dir := t.TempDir()
+		path, _ := build(t, dir)
+		if err := os.Truncate(path, cut); err != nil {
+			t.Fatal(err)
+		}
+		w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+		got := replayAll(t, w, 0)
+		if len(got) != 2 {
+			t.Fatalf("cut=%d: replayed %d entries, want 2", cut, len(got))
+		}
+		if w.LastSeq() != 2 {
+			t.Fatalf("cut=%d: LastSeq=%d, want 2", cut, w.LastSeq())
+		}
+		// Appends continue with the next sequence number.
+		seq, err := w.AppendSamples(sampleBatch(99, 1))
+		if err != nil || seq != 3 {
+			t.Fatalf("cut=%d: append seq=%d err=%v", cut, seq, err)
+		}
+		if got := replayAll(t, w, 0); len(got) != 3 {
+			t.Fatalf("cut=%d: after repair replayed %d, want 3", cut, len(got))
+		}
+		w.Close()
+	}
+}
+
+func TestWALTornTailCountsMetric(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	if _, err := w.AppendSamples(sampleBatch(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Sync()
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	fi, _ := os.Stat(path)
+	w.Close()
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	met := NewMetrics()
+	w2 := testWAL(t, dir, WALOptions{Sync: SyncOff, Metrics: met})
+	defer w2.Close()
+	if met.TornTruncations.Load() != 1 {
+		t.Fatalf("TornTruncations=%d, want 1", met.TornTruncations.Load())
+	}
+}
+
+// TestWALMidLogCorruptionIsFatal: flipping a byte in a non-final segment
+// must fail replay loudly rather than silently skipping records.
+func TestWALMidLogCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff, SegmentBytes: 200})
+	for i := 0; i < 8; i++ {
+		if _, err := w.AppendSamples(sampleBatch(i*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SegmentCount() < 2 {
+		t.Fatalf("need >=2 segments, got %d", w.SegmentCount())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	first := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff // corrupt the first (non-final) segment
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(0, func(Entry) error { return nil }); err == nil {
+		t.Fatal("replay over mid-log corruption must error")
+	}
+	w.Close()
+}
+
+// TestWALGapDetection: deleting an interior segment is a gap, and replay
+// must refuse to paper over it.
+func TestWALGapDetection(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff, SegmentBytes: 200})
+	for i := 0; i < 8; i++ {
+		if _, err := w.AppendSamples(sampleBatch(i*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SegmentCount() < 3 {
+		t.Fatalf("need >=3 segments, got %d", w.SegmentCount())
+	}
+	w.Close()
+	segs, _ := listSegments(dir)
+	if err := os.Remove(filepath.Join(dir, segs[1].name)); err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	defer w2.Close()
+	if err := w2.Replay(0, func(Entry) error { return nil }); err == nil {
+		t.Fatal("replay across a missing segment must error")
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w := testWAL(t, dir, WALOptions{Sync: pol, SyncInterval: 5 * time.Millisecond})
+			met := w.Metrics()
+			for i := 0; i < 4; i++ {
+				if _, err := w.AppendSamples(sampleBatch(i, 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			switch pol {
+			case SyncAlways:
+				if met.Fsync.Count() < 4 {
+					t.Fatalf("always: %d fsyncs, want >=4", met.Fsync.Count())
+				}
+			case SyncInterval:
+				deadline := time.Now().Add(2 * time.Second)
+				for met.Fsync.Count() == 0 && time.Now().Before(deadline) {
+					time.Sleep(5 * time.Millisecond)
+				}
+				if met.Fsync.Count() == 0 {
+					t.Fatal("interval: background flusher never fsynced")
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Whatever the policy, a graceful close makes all records readable.
+			w2 := testWAL(t, dir, WALOptions{Sync: SyncOff})
+			if got := replayAll(t, w2, 0); len(got) != 4 {
+				t.Fatalf("%s: replayed %d, want 4", pol, len(got))
+			}
+			w2.Close()
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "Interval": SyncInterval, "off": SyncOff, "none": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy must error")
+	}
+}
+
+func TestWALRejectsOversizedAndEmptyPayloads(t *testing.T) {
+	w := testWAL(t, t.TempDir(), WALOptions{Sync: SyncOff})
+	defer w.Close()
+	if _, err := w.Append(nil); err == nil {
+		t.Fatal("empty payload must error")
+	}
+	if _, err := w.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversized payload must error")
+	}
+	if w.LastSeq() != 0 {
+		t.Fatalf("rejected appends must not consume sequence numbers, LastSeq=%d", w.LastSeq())
+	}
+}
