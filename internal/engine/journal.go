@@ -1,6 +1,9 @@
 package engine
 
-import "github.com/qoslab/amf/internal/stream"
+import (
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/stream"
+)
 
 // Journal is the engine's write-ahead log hook, satisfied by
 // *store.WAL. The writer loop journals every drained/synchronous batch
@@ -10,7 +13,7 @@ import "github.com/qoslab/amf/internal/stream"
 // writer lock, "applied to the model" always implies "present in the
 // journal", so a checkpoint that records the journal's last sequence
 // number while the model is quiescent covers exactly the records it
-// claims to (see CheckpointSeq).
+// claims to (see CheckpointView).
 //
 // With the journal's fsync policy set to always, ObserveAll's ack
 // additionally implies the batch is on stable storage: read-your-writes
@@ -22,7 +25,11 @@ import "github.com/qoslab/amf/internal/stream"
 // store fails the log fast after the first lost write so the damage is
 // visible rather than a silent gap.
 type Journal interface {
-	// AppendSamples journals one batch of observations as one record.
+	// AppendSamples journals one batch of observations, returning the
+	// sequence number of the last record written. Implementations must
+	// accept a batch of ANY size (store.WAL splits batches that exceed
+	// its record bound across several records) — an acked batch must
+	// never be rejected for its size, or durability silently breaks.
 	AppendSamples(ss []stream.Sample) (seq uint64, err error)
 	// AppendRemoveUser journals a user churn departure.
 	AppendRemoveUser(id int) (seq uint64, err error)
@@ -54,21 +61,37 @@ func (e *Engine) journalSamplesLocked(ss []stream.Sample) {
 	}
 }
 
-// CheckpointSeq publishes any pending model updates and returns the
-// journal's last sequence number. Because the writer journals and
-// applies under one lock, every record with seq <= the returned value is
-// reflected in the model — and therefore in any state snapshot taken
-// from the published view afterwards. This is the capture hook the
-// store.Manager checkpointer builds on. Returns 0 when no journal is
-// attached.
-func (e *Engine) CheckpointSeq() uint64 {
+// CheckpointView publishes any pending model updates and returns, from
+// a single critical section, the journal's last sequence number paired
+// with the just-published view. Because the writer journals and applies
+// under the same lock, the returned view reflects every record with
+// seq <= the returned value and — crucially — no sample or removal
+// record with a greater one. Snapshotting THAT view (not whatever view
+// is current when the caller gets around to serializing) is what makes
+// a checkpoint's (seq, blob) pair consistent: a drain that lands
+// between reading the sequence number and snapshotting would otherwise
+// train samples with seq > checkpoint-seq into the blob, and recovery
+// would replay those same records into the restored model — double-
+// training. This is the capture hook the store.Manager checkpointer
+// builds on. Seq is 0 when no journal is attached.
+func (e *Engine) CheckpointView() (uint64, *core.PredictView) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.sincePublish > 0 {
 		e.publishLocked()
 	}
-	if e.journal == nil {
-		return 0
+	var seq uint64
+	if e.journal != nil {
+		seq = e.journal.LastSeq()
 	}
-	return e.journal.LastSeq()
+	return seq, e.view.Load()
+}
+
+// CheckpointSeq is CheckpointView without the view — callers that only
+// need the covered sequence number (tests, status endpoints). Capture
+// paths that go on to serialize state must use CheckpointView so the
+// seq and the snapshot come from the same quiescent instant.
+func (e *Engine) CheckpointSeq() uint64 {
+	seq, _ := e.CheckpointView()
+	return seq
 }

@@ -18,6 +18,9 @@ type fakeJournal struct {
 		user bool
 		id   int
 	}
+	// cum[i] is the cumulative sample count covered by records with
+	// sequence number <= i+1 (immutable history once appended).
+	cum  []int
 	fail bool
 }
 
@@ -29,6 +32,7 @@ func (f *fakeJournal) AppendSamples(ss []stream.Sample) (uint64, error) {
 	}
 	f.seq++
 	f.samples = append(f.samples, ss...)
+	f.cum = append(f.cum, len(f.samples))
 	return f.seq, nil
 }
 
@@ -43,7 +47,19 @@ func (f *fakeJournal) appendRemove(user bool, id int) (uint64, error) {
 		user bool
 		id   int
 	}{user, id})
+	f.cum = append(f.cum, len(f.samples))
 	return f.seq, nil
+}
+
+// samplesCoveredBy returns how many samples sit in records with
+// sequence number <= seq.
+func (f *fakeJournal) samplesCoveredBy(seq uint64) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if seq == 0 {
+		return 0
+	}
+	return f.cum[seq-1]
 }
 
 func (f *fakeJournal) AppendRemoveUser(id int) (uint64, error)    { return f.appendRemove(true, id) }
@@ -166,4 +182,44 @@ func TestCheckpointSeq(t *testing.T) {
 	if e.Stats().Updates == 0 {
 		t.Fatal("published view does not reflect applied updates")
 	}
+}
+
+// TestCheckpointViewAtomicCapture: the (seq, view) pair must come from
+// ONE writer critical section. A concurrent stream of synchronous
+// batches would otherwise slip between reading the sequence number and
+// snapshotting the view, training samples with seq > checkpoint-seq
+// into the captured state — which recovery would then replay again
+// (double-training). With ReplayPerBatch=0 every model update is one
+// journaled sample, so the captured view's update count must equal
+// EXACTLY the number of samples the journal covers at the captured
+// sequence number.
+func TestCheckpointViewAtomicCapture(t *testing.T) {
+	e := New(testModel(t), Config{})
+	defer e.Close()
+	j := &fakeJournal{}
+	e.SetJournal(j)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.ObserveAll(seedSamples(i%5+2, i%7+2))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		seq, v := e.CheckpointView()
+		if got, want := v.Updates(), int64(j.samplesCoveredBy(seq)); got != want {
+			t.Fatalf("iteration %d: captured view holds %d updates but the journal covers %d samples at seq %d — seq/view capture is not atomic",
+				i, got, want, seq)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
@@ -34,9 +35,10 @@ const replayChunk = 8192
 //  3. Register the amf_wal_* / amf_checkpoint_* / amf_recovery_*
 //     metric families.
 //  4. Start the background checkpointer. Each checkpoint captures the
-//     engine's covered sequence number (CheckpointSeq: publish + journal
-//     LastSeq under the writer lock, so the blob reflects every record
-//     it claims) and the full service state (model view + registries).
+//     engine's covered sequence number AND the model view from one
+//     critical section (CheckpointView: publish + journal LastSeq under
+//     the writer lock), then serializes that immutable view — so the
+//     blob reflects exactly the records its sequence number claims.
 //
 // The returned stats describe what recovery found. On error the server
 // is left not journaling; the caller should treat the data directory as
@@ -100,16 +102,23 @@ func (s *Server) AttachDurable(m *store.Manager) (store.RecoveryStats, error) {
 // Durable returns the attached store manager, or nil.
 func (s *Server) Durable() *store.Manager { return s.durable }
 
-// captureState is the checkpointer's capture hook: the engine's covered
-// sequence number first (publishing pending updates), then the full
-// service state serialized from the now-current published view. Records
-// journaled after CheckpointSeq returns may also be reflected in the
-// blob (registrations race the capture by design); replay is idempotent
-// for exactly those records.
+// captureState is the checkpointer's capture hook. The covered sequence
+// number and the model view are taken from ONE engine critical section
+// (CheckpointView): the returned view is immutable, so sample batches
+// and removals journaled while we serialize below can never leak into
+// the blob — if they could, recovery would replay those records into a
+// model that already contains them (double-training). The registry
+// directories are listed after the view capture, so a registration
+// journaled with seq > checkpoint-seq may appear in the blob AND be
+// replayed; RegisterID is idempotent for exactly that record kind, so
+// the race is harmless — and it is the only one left.
 func (s *Server) captureState() (uint64, []byte, error) {
-	seq := s.eng.CheckpointSeq()
-	data, err := s.SaveState()
-	return seq, data, err
+	seq, view := s.eng.CheckpointView()
+	var buf bytes.Buffer
+	if err := s.encodeStateView(&buf, view); err != nil {
+		return 0, nil, err
+	}
+	return seq, buf.Bytes(), nil
 }
 
 // journalRegistration appends a name⇄ID registration to the WAL before

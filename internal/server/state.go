@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/registry"
 )
 
@@ -34,9 +35,20 @@ func (s *Server) SaveState() ([]byte, error) {
 
 // encodeState streams the persisted state to w without materializing the
 // gob image in memory first (the model snapshot itself is one buffer; the
-// gob framing and registry lists stream).
+// gob framing and registry lists stream). It serializes whatever view is
+// current; callers that pair the blob with a WAL sequence number must
+// use encodeStateView with the view returned by engine.CheckpointView.
 func (s *Server) encodeState(w io.Writer) error {
-	model, err := s.eng.Snapshot()
+	return s.encodeStateView(w, s.eng.View())
+}
+
+// encodeStateView streams the persisted state serialized from a specific
+// (immutable) published view. Passing the view explicitly is what lets a
+// checkpoint capture the model state and its covered sequence number
+// atomically: the view cannot gain post-capture samples, no matter how
+// long serialization takes or what the writer drains meanwhile.
+func (s *Server) encodeStateView(w io.Writer, v *core.PredictView) error {
+	model, err := v.Snapshot()
 	if err != nil {
 		return err
 	}
@@ -88,12 +100,18 @@ func (s *Server) stateRoutes() {
 // client can If-None-Match and skip the download when nothing changed.
 func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
 	var etag string
+	var view *core.PredictView
 	if s.durable != nil {
-		// Publishes pending updates first, so the streamed view covers
-		// every journaled record the tag names.
-		etag = fmt.Sprintf(`"seq-%d"`, s.eng.CheckpointSeq())
+		// Seq and view come from one engine critical section
+		// (CheckpointView), so the streamed blob covers exactly the
+		// journaled records the tag names — a drain racing this handler
+		// cannot leak post-seq samples into the download.
+		seq, v := s.eng.CheckpointView()
+		etag = fmt.Sprintf(`"seq-%d"`, seq)
+		view = v
 	} else {
-		etag = fmt.Sprintf(`"view-%d"`, s.eng.View().Version())
+		view = s.eng.View()
+		etag = fmt.Sprintf(`"view-%d"`, view.Version())
 	}
 	if r.Header.Get("If-None-Match") == etag {
 		s.countStatus(http.StatusNotModified)
@@ -106,7 +124,7 @@ func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Content-Disposition", `attachment; filename="amf-state.gob"`)
 	h.Set("ETag", etag)
-	if err := s.encodeState(w); err != nil {
+	if err := s.encodeStateView(w, view); err != nil {
 		// Headers are gone; all we can do is cut the stream short (the
 		// gob decoder on the other end will reject the truncation) and
 		// log why.

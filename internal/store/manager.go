@@ -150,6 +150,23 @@ func (m *Manager) Recover(restore func(data []byte) error, replay func(Entry) er
 		rs.HaveCheckpoint = true
 		rs.CheckpointSeq = seq
 	}
+	if last := m.wal.LastSeq(); ok && seq > last {
+		// The durable checkpoint claims sequence numbers the log no
+		// longer has (lost WAL tail, wiped wal directory). The
+		// checkpointed state itself is intact — every record <= seq is
+		// reflected in the blob just restored — but any record that was
+		// journaled AFTER the checkpoint is gone, and the WAL counter
+		// sits below the covered range: left alone, fresh acked appends
+		// would reuse sequence numbers <= seq and the next recovery
+		// would silently skip them. Shout, then advance the counter past
+		// the covered range so a collision is structurally impossible.
+		m.log.Error("wal tail missing: checkpoint covers sequences beyond the log; "+
+			"records journaled after the checkpoint are lost",
+			"checkpoint_seq", seq, "wal_last_seq", last)
+		if err := m.wal.AdvanceTo(seq); err != nil {
+			return rs, fmt.Errorf("store: advance wal past checkpoint seq %d: %w", seq, err)
+		}
+	}
 	err = m.wal.Replay(seq, func(e Entry) error {
 		if err := replay(e); err != nil {
 			return err
@@ -223,6 +240,17 @@ func (m *Manager) Checkpoint() error {
 	seq, data, err := m.capture()
 	if err != nil {
 		return fmt.Errorf("store: capture state: %w", err)
+	}
+	// Fsync the WAL before durably publishing the checkpoint. The blob
+	// reflects every record with seq <= the captured sequence number, but
+	// under SyncInterval/SyncOff those records may still sit in the WAL's
+	// buffer: without this barrier a crash could reopen the WAL below
+	// seq, hand the SAME sequence numbers to fresh acked appends, and the
+	// next recovery (this checkpoint still sorting newest) would silently
+	// skip them in Replay. The invariant is: the WAL's durable tail is
+	// always >= any durable checkpoint's claimed sequence.
+	if err := m.wal.Sync(); err != nil {
+		return fmt.Errorf("store: sync wal before checkpoint: %w", err)
 	}
 	if err := WriteCheckpoint(m.ckptDir, seq, data); err != nil {
 		return err

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -154,6 +155,93 @@ func TestManagerBackgroundCheckpointer(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Start(func() (uint64, []byte, error) { return 0, nil, nil })
+}
+
+// TestCheckpointSyncsWALBeforeWrite: the WAL's durable tail must be >=
+// any durable checkpoint's claimed sequence number. With SyncOff nothing
+// flushes on its own, so Checkpoint itself must sync the log before
+// publishing the checkpoint — otherwise a crash right after would reopen
+// the WAL below the checkpoint's seq, hand already-covered sequence
+// numbers to fresh acked appends, and the next recovery would silently
+// skip them.
+func TestCheckpointSyncsWALBeforeWrite(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncOff})
+	for i := 0; i < 3; i++ {
+		if _, err := m.WAL().AppendSamples(sampleBatch(i*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetCaptureForTest(func() (uint64, []byte, error) {
+		return m.WAL().LastSeq(), []byte("state"), nil
+	})
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": reopen the wal directory without Close. Only bytes that
+	// reached disk before the crash are visible; the checkpoint durably
+	// claims seq 3, so the reopened log must already hold seq 3.
+	w2 := testWAL(t, filepath.Join(dir, "wal"), WALOptions{Sync: SyncOff})
+	if got := w2.LastSeq(); got != 3 {
+		t.Fatalf("durable wal tail at seq %d < checkpoint seq 3 — Checkpoint did not sync the log first", got)
+	}
+	w2.Close()
+	m.Close()
+}
+
+// TestRecoverCheckpointBeyondWALTail: a durable checkpoint claiming
+// sequence numbers past the log's tail (lost WAL tail, wiped wal dir)
+// must not leave the sequence counter below the covered range —
+// otherwise fresh acked appends would reuse covered numbers and the
+// NEXT recovery would silently skip them.
+func TestRecoverCheckpointBeyondWALTail(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{Sync: SyncAlways})
+	if _, err := m.WAL().AppendSamples(sampleBatch(0, 2)); err != nil { // seq 1
+		t.Fatal(err)
+	}
+	// A checkpoint whose covering WAL tail is gone: claims seq 10.
+	if err := WriteCheckpoint(filepath.Join(dir, "checkpoints"), 10, []byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	rs, err := m.Recover(func(d []byte) error { blob = d; return nil }, func(Entry) error {
+		t.Fatal("records below the checkpoint must not replay")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rs.HaveCheckpoint || rs.CheckpointSeq != 10 || string(blob) != "state@10" {
+		t.Fatalf("recover: %+v blob=%q", rs, blob)
+	}
+	if got := m.WAL().LastSeq(); got != 10 {
+		t.Fatalf("LastSeq=%d after recover, want 10 (counter must clear the covered range)", got)
+	}
+	seq, err := m.WAL().AppendSamples(sampleBatch(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("fresh append got seq %d, want 11", seq)
+	}
+	m.Close()
+
+	// The point of the bump: a second recovery replays the post-restart
+	// append instead of skipping it as already-checkpointed.
+	m2 := openManager(t, dir, Options{Sync: SyncAlways})
+	var tail []stream.Sample
+	rs2, err := m2.Recover(func([]byte) error { return nil }, func(e Entry) error {
+		tail = append(tail, e.Samples...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if rs2.CheckpointSeq != 10 || rs2.Entries != 1 || len(tail) != 3 {
+		t.Fatalf("second recovery lost the post-restart append: %+v tail=%d", rs2, len(tail))
+	}
+	m2.Close()
 }
 
 func TestManagerCheckpointWithoutCapture(t *testing.T) {

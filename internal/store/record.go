@@ -69,6 +69,14 @@ type Entry struct {
 
 const sampleWire = 32 // i64 time, i64 user, i64 service, f64 value
 
+// maxSamplesPerRecord is the largest observation count whose
+// EncodeSamples payload still fits in MaxRecordBytes (5 header bytes +
+// sampleWire per sample). WAL.AppendSamples splits bigger batches across
+// several records, so a legitimate batch of any size can be journaled —
+// an oversized batch must never be acked-but-rejected (a silent
+// durability hole even under fsync=always).
+const maxSamplesPerRecord = (MaxRecordBytes - 5) / sampleWire
+
 // EncodeSamples renders a batch of observations as an EntrySamples
 // payload: kind byte, u32 count, then 32 fixed bytes per sample. The
 // same encoding doubles as the qosdb checkpoint body.

@@ -331,11 +331,41 @@ func (w *WAL) createSegmentLocked(first uint64) error {
 // ---------------------------------------------------------------------------
 // Appends. These satisfy the engine's Journal interface.
 
-// AppendSamples journals a batch of observations as one record and
-// returns its sequence number. Under SyncAlways the record is on stable
+// AppendSamples journals a batch of observations and returns the
+// sequence number of the last record written. Batches that fit under
+// MaxRecordBytes (the overwhelmingly common case — the bound is two
+// orders of magnitude above a drain batch) become one record; larger
+// batches are split into maximal chunks so NO batch size is ever
+// rejected — an acked batch must always reach the log. A crash between
+// chunks durably keeps a prefix of the batch, which recovery replays;
+// that matches the at-most-flush-window loss contract of every non-
+// SyncAlways policy, and under SyncAlways every chunk is on stable
 // storage when this returns.
 func (w *WAL) AppendSamples(ss []stream.Sample) (uint64, error) {
-	return w.Append(EncodeSamples(ss))
+	return w.appendSamplesChunked(ss, maxSamplesPerRecord)
+}
+
+// appendSamplesChunked is AppendSamples with an explicit chunk bound,
+// separated so tests can exercise the multi-record path without
+// materializing half-gigabyte batches.
+func (w *WAL) appendSamplesChunked(ss []stream.Sample, maxPerRecord int) (uint64, error) {
+	if len(ss) <= maxPerRecord {
+		return w.Append(EncodeSamples(ss))
+	}
+	var seq uint64
+	for len(ss) > 0 {
+		n := len(ss)
+		if n > maxPerRecord {
+			n = maxPerRecord
+		}
+		s, err := w.Append(EncodeSamples(ss[:n]))
+		if err != nil {
+			return seq, err
+		}
+		seq = s
+		ss = ss[n:]
+	}
+	return seq, nil
 }
 
 // AppendRemoveUser journals a user churn departure.
@@ -475,6 +505,33 @@ func (w *WAL) rotateLocked() error {
 		return fmt.Errorf("store: close segment: %w", err)
 	}
 	return w.createSegmentLocked(w.seq + 1)
+}
+
+// AdvanceTo raises the WAL's sequence counter to at least seq, rotating
+// to a fresh segment (named seq+1) so per-segment numbering stays
+// continuous. It is the recovery escape hatch for a durable checkpoint
+// whose claimed sequence number exceeds the log's tail (a lost WAL tail
+// or wiped wal directory): after the bump, fresh appends can never
+// reuse sequence numbers the checkpoint already covers, so a later
+// recovery can never mistake them for already-checkpointed records and
+// silently skip them. No-op when seq <= LastSeq.
+func (w *WAL) AdvanceTo(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: advance on closed wal")
+	}
+	if seq <= w.seq {
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	w.seq = seq
+	return w.createSegmentLocked(seq + 1)
 }
 
 // TruncateThrough removes segments whose records all have sequence

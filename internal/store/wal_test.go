@@ -384,3 +384,97 @@ func TestWALRejectsOversizedAndEmptyPayloads(t *testing.T) {
 		t.Fatalf("rejected appends must not consume sequence numbers, LastSeq=%d", w.LastSeq())
 	}
 }
+
+// TestWALAdvanceTo: the recovery escape hatch for a checkpoint claiming
+// sequences beyond the tail — the counter jumps forward onto a fresh
+// segment, so fresh appends can never collide with a covered range.
+func TestWALAdvanceTo(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	for i := 0; i < 3; i++ {
+		if _, err := w.AppendSamples(sampleBatch(i*10, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AdvanceTo(2); err != nil { // below the tail: no-op
+		t.Fatal(err)
+	}
+	if got := w.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq=%d after no-op advance, want 3", got)
+	}
+	if err := w.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq=%d after advance, want 10", got)
+	}
+	seq, err := w.AppendSamples(sampleBatch(500, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("append after advance got seq %d, want 11", seq)
+	}
+	got := replayAll(t, w, 10)
+	if len(got) != 1 || got[0].Seq != 11 || len(got[0].Samples) != 2 {
+		t.Fatalf("replay past the advanced range: %+v", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: numbering continues past the advanced range.
+	w2 := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	if got := w2.LastSeq(); got != 11 {
+		t.Fatalf("reopened LastSeq=%d, want 11", got)
+	}
+	w2.Close()
+}
+
+// TestWALAppendSamplesChunked: batches whose encoding exceeds the
+// per-record bound are split across records instead of rejected — an
+// acked batch must always reach the log. Exercised against a small
+// bound so the test does not materialize a half-GiB batch.
+func TestWALAppendSamplesChunked(t *testing.T) {
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Sync: SyncOff})
+	defer w.Close()
+	batch := sampleBatch(0, 10)
+	seq, err := w.appendSamplesChunked(batch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 || w.LastSeq() != 4 { // ceil(10/3) records
+		t.Fatalf("seq=%d LastSeq=%d, want 4 records", seq, w.LastSeq())
+	}
+	var got []stream.Sample
+	var sizes []int
+	for _, e := range replayAll(t, w, 0) {
+		if e.Kind != EntrySamples {
+			t.Fatalf("unexpected kind %d", e.Kind)
+		}
+		sizes = append(sizes, len(e.Samples))
+		got = append(got, e.Samples...)
+	}
+	if len(sizes) != 4 || sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 3 || sizes[3] != 1 {
+		t.Fatalf("chunk sizes %v, want [3 3 3 1]", sizes)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("replayed %d samples, want %d", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Fatalf("sample %d reordered: got %+v want %+v", i, got[i], batch[i])
+		}
+	}
+}
+
+// TestMaxSamplesPerRecordBound: the chunk bound is the exact maximum —
+// one more sample would overflow MaxRecordBytes.
+func TestMaxSamplesPerRecordBound(t *testing.T) {
+	if 5+maxSamplesPerRecord*sampleWire > MaxRecordBytes {
+		t.Fatal("maxSamplesPerRecord encodes past MaxRecordBytes")
+	}
+	if 5+(maxSamplesPerRecord+1)*sampleWire <= MaxRecordBytes {
+		t.Fatal("maxSamplesPerRecord is not maximal")
+	}
+}
