@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster test-cluster fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
 # plus the race detector over the concurrent internals and the
 # observability smoke check.
-ci: build vet test bench-smoke
+ci: build vet test bench-smoke test-cluster
 	$(GO) test -race ./internal/...
 
 build:
@@ -69,6 +69,22 @@ bench-recovery:
 	{ $(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkWALReplay|BenchmarkCheckpoint|BenchmarkRecovery' -benchmem -benchtime=0.5s ./internal/store/ ; \
 	  $(GO) test -run=NONE -bench='BenchmarkObserveJournal' -benchmem -benchtime=0.5s ./internal/engine/ ; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_recovery.json
+
+# Cluster integration gate: the ring/gateway suites (including the
+# SIGKILL-the-leader failover test — 1 gateway + 3 replicas in-process,
+# promoted follower must serve with zero acked-sample loss) and the
+# WAL-shipping replication suite, all under the race detector.
+test-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestFollower|TestPromote|TestReplicate|TestApplyStream|TestClusterStatus|TestSetLeader|TestStartFollower|TestDrainReplication' ./internal/server/
+
+# User-sharded cluster benchmarks, archived as BENCH_cluster.json:
+# gateway proxy overhead vs direct serving (the full-catalog ranking
+# workload must stay within 15% at p50; see the p50-ns/op extras) and
+# steady-state WAL-shipping replication lag (ns/op IS the lag).
+bench-cluster:
+	$(GO) test -run=NONE -bench='BenchmarkGateway|BenchmarkReplicationLag' -benchmem -benchtime=1s ./internal/cluster/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_cluster.json
 
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/

@@ -55,6 +55,11 @@ func run(args []string) error {
 		snapIvl     = fs.Duration("snapshot-interval", time.Minute, "background checkpoint cadence for -data-dir")
 		walSegBytes = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB default)")
 
+		role       = fs.String("role", "leader", "cluster role: leader (serves writes) or follower (replicates a leader's WAL, read-only until promoted)")
+		leaderURL  = fs.String("leader", "", "leader base URL to replicate from (follower role, required)")
+		leaderData = fs.String("leader-data", "", "leader's durable data directory on shared storage; lets promotion recover to the exact durable tail (follower role, optional)")
+		replWait   = fs.Duration("repl-wait", 5*time.Second, "follower long-poll hold time per WAL fetch")
+
 		queue        = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
 		trainWorkers = fs.Int("train-workers", 1, "parallel SGD training workers (rounded down to a power of two, max 64); 1 keeps the serial deterministic writer")
 		rankPar     = fs.Int("rank-parallel-threshold", 4096, "candidate-set size at which /api/v1/rank fans out across cores (<=0 disables)")
@@ -108,6 +113,23 @@ func run(args []string) error {
 	}
 	if *dataDir != "" && *state != "" {
 		return errors.New("-data-dir and -state are mutually exclusive (the data directory subsumes the state file)")
+	}
+	follower := false
+	switch *role {
+	case "leader":
+		if *leaderURL != "" || *leaderData != "" {
+			return errors.New("-leader/-leader-data only apply to -role follower")
+		}
+	case "follower":
+		follower = true
+		if *leaderURL == "" {
+			return errors.New("-role follower requires -leader")
+		}
+		if *dataDir != "" {
+			return errors.New("-role follower is incompatible with -data-dir (durability lives on the leader; use -leader-data for shared-storage promotion)")
+		}
+	default:
+		return fmt.Errorf("unknown role %q (want leader or follower)", *role)
 	}
 	sync, err := store.ParseSyncPolicy(*fsyncPolicy)
 	if err != nil {
@@ -166,6 +188,25 @@ func run(args []string) error {
 			}
 		}
 	}
+	if follower {
+		// Bootstrap from the leader's snapshot, then tail its WAL. The
+		// store options only matter at promotion time, when the follower
+		// re-opens the leader's durable directory as its own.
+		if _, err := svc.StartFollower(server.FollowerConfig{
+			Leader:     *leaderURL,
+			LeaderData: *leaderData,
+			StoreOptions: store.Options{
+				SegmentBytes:       *walSegBytes,
+				Sync:               sync,
+				CheckpointInterval: *snapIvl,
+				Logger:             logger,
+			},
+			WaitMS: int(replWait.Milliseconds()),
+		}); err != nil {
+			return fmt.Errorf("start follower: %w", err)
+		}
+		logger.Info("following leader", "leader", *leaderURL, "leader_data", *leaderData)
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: svc.Handler(),
@@ -211,6 +252,7 @@ func run(args []string) error {
 		"queue", *queue, "train_workers", eng.TrainWorkers(),
 		"publish_interval", *publishIvl, "publish_every", *publishEach,
 		"rank_parallel_threshold", *rankPar,
+		"role", *role, "leader", *leaderURL, "leader_data", *leaderData,
 		"wal", *wal, "state", *state, "data_dir", *dataDir,
 		"fsync", sync.String(), "snapshot_interval", *snapIvl, "wal_segment_bytes", *walSegBytes,
 		"pprof", *pprofFlag, "metrics_compat", *metrCompat,
@@ -222,13 +264,29 @@ func run(args []string) error {
 	// observations make it into the saved state (Close is idempotent;
 	// the deferred call becomes a no-op).
 	svc.Close()
-	if mgr != nil {
+	// Let in-flight replication streams finish shipping before the final
+	// checkpoint truncates the WAL out from under them: followers see a
+	// clean end-of-stream instead of a mid-record disconnect.
+	if !svc.DrainReplication(5 * time.Second) {
+		logger.Warn("replication streams did not drain before shutdown deadline")
+	}
+	// svc.Durable(), not the local mgr: a follower promoted at runtime
+	// attached the dead leader's durable directory inside the server,
+	// which the -data-dir flag path never saw.
+	if m := svc.Durable(); m != nil {
 		// Final checkpoint: a graceful shutdown leaves nothing for the
-		// next start to replay. The deferred mgr.Close releases the WAL.
-		if err := mgr.Checkpoint(); err != nil {
+		// next start to replay.
+		if err := m.Checkpoint(); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		logger.Info("final checkpoint written", "dir", *dataDir)
+		logger.Info("final checkpoint written", "dir", m.Dir())
+		if m != mgr {
+			// Promotion-attached manager: the deferred mgr.Close only
+			// releases the flag-opened one.
+			if err := m.Close(); err != nil {
+				logger.Warn("close durable state", "err", err)
+			}
+		}
 	}
 	if *state != "" {
 		data, err := svc.SaveState()

@@ -30,6 +30,9 @@ type Result struct {
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds custom metrics reported via testing.B.ReportMetric
+	// (e.g. "p50-ns/op" percentile latencies), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the archived benchmark run.
@@ -142,6 +145,14 @@ func parseBenchLine(line string) (Result, bool) {
 		case "MB/s":
 			if f, err := strconv.ParseFloat(val, 64); err == nil {
 				res.MBPerSec = f
+			}
+		default:
+			// Custom units from testing.B.ReportMetric.
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[fields[i+1]] = f
 			}
 		}
 	}

@@ -24,11 +24,24 @@ import (
 // service, or no prediction available).
 var ErrNotFound = errors.New("client: not found")
 
-// Client talks to one QoS prediction service endpoint. The zero value is
-// not usable; construct with New.
+// Client talks to one QoS prediction service endpoint — an amfserver
+// directly, or an amfgateway fronting a sharded cluster. The zero value
+// is not usable; construct with New.
 type Client struct {
 	base string
 	http *http.Client
+
+	// Retries is the number of additional attempts for retryable
+	// failures (default 0 = single attempt). What retries is chosen for
+	// cluster safety: GETs are retried on transport errors and on
+	// 502/503 (reads are idempotent, and a gateway mid-failover answers
+	// 502/503 until the new leader is promoted); non-GET requests are
+	// retried only on 503 — the service rejected the request before
+	// applying it (follower redirect, shutdown drain) — and never on
+	// transport errors, where the write's outcome is unknown.
+	Retries int
+	// RetryBackoff is the pause between attempts (default 100ms).
+	RetryBackoff time.Duration
 }
 
 // New creates a client for the given base URL (e.g. "http://host:8080").
@@ -42,24 +55,58 @@ func New(baseURL string, httpClient *http.Client) *Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
 		}
-		reader = bytes.NewReader(buf)
+		payload = buf
+	}
+	for attempt := 0; ; attempt++ {
+		retryable, err := c.attempt(ctx, method, path, payload, out)
+		if err == nil || !retryable || attempt >= c.Retries {
+			return err
+		}
+		if werr := c.waitRetry(ctx); werr != nil {
+			return err
+		}
+	}
+}
+
+// waitRetry sleeps one backoff, bailing early if ctx ends first.
+func (c *Client) waitRetry(ctx context.Context) error {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attempt performs one request and reports whether a failure may be
+// retried (see Retries for the policy).
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) (retryable bool, err error) {
+	var reader io.Reader
+	if payload != nil {
+		reader = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
+		return false, fmt.Errorf("client: build request: %w", err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return method == http.MethodGet, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 
@@ -70,17 +117,63 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			msg = apiErr.Error
 		}
 		if resp.StatusCode == http.StatusNotFound {
-			return fmt.Errorf("client: %s: %w", msg, ErrNotFound)
+			return false, fmt.Errorf("client: %s: %w", msg, ErrNotFound)
 		}
-		return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, msg, resp.StatusCode)
+		retryable = resp.StatusCode == http.StatusServiceUnavailable ||
+			(method == http.MethodGet && resp.StatusCode == http.StatusBadGateway)
+		return retryable, fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, msg, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+		return false, fmt.Errorf("client: decode response: %w", err)
 	}
-	return nil
+	return false, nil
+}
+
+// Snapshot downloads the service's state blob (GET /api/v1/snapshot).
+// etag is the validator returned by a previous call ("" fetches
+// unconditionally): when the server's state hasn't changed it answers
+// 304 and Snapshot returns notModified=true with no data, which is what
+// keeps periodic backups, follower bootstraps, and gateway probes cheap.
+func (c *Client) Snapshot(ctx context.Context, etag string) (data []byte, newETag string, notModified bool, err error) {
+	for attempt := 0; ; attempt++ {
+		data, newETag, notModified, err = c.snapshotOnce(ctx, etag)
+		if err == nil || attempt >= c.Retries {
+			return data, newETag, notModified, err
+		}
+		if werr := c.waitRetry(ctx); werr != nil {
+			return nil, "", false, err
+		}
+	}
+}
+
+func (c *Client) snapshotOnce(ctx context.Context, etag string) ([]byte, string, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/snapshot", nil)
+	if err != nil {
+		return nil, "", false, fmt.Errorf("client: build request: %w", err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, "", false, fmt.Errorf("client: GET /api/v1/snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, resp.Header.Get("ETag"), true, nil
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", false, fmt.Errorf("client: download snapshot: %w", err)
+		}
+		return data, resp.Header.Get("ETag"), false, nil
+	default:
+		return nil, "", false, fmt.Errorf("client: GET /api/v1/snapshot: HTTP %d", resp.StatusCode)
+	}
 }
 
 // Health checks the /healthz endpoint.

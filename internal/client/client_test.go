@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/server"
@@ -209,5 +212,101 @@ func TestClientFlagged(t *testing.T) {
 	// Negative threshold uses the server default.
 	if _, err := c.Flagged(context.Background(), -1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestClientSnapshotETag(t *testing.T) {
+	c := startService(t)
+	seed(t, c)
+	ctx := context.Background()
+
+	data, etag, notModified, err := c.Snapshot(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notModified || len(data) == 0 || etag == "" {
+		t.Fatalf("first fetch: notModified=%v len=%d etag=%q", notModified, len(data), etag)
+	}
+
+	// Unchanged state revalidates for free.
+	data2, etag2, notModified, err := c.Snapshot(ctx, etag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notModified || data2 != nil || etag2 != etag {
+		t.Fatalf("revalidation: notModified=%v len=%d etag=%q", notModified, len(data2), etag2)
+	}
+
+	// A write invalidates the tag and the next fetch downloads again.
+	if _, err := c.Observe(ctx, []server.Observation{{User: "fresh", Service: "ws-0", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data3, etag3, notModified, err := c.Snapshot(ctx, etag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notModified || len(data3) == 0 || etag3 == etag {
+		t.Fatalf("post-write fetch: notModified=%v len=%d etag=%q", notModified, len(data3), etag3)
+	}
+}
+
+// TestClientRetryPolicy exercises the cluster-aware retry rules against
+// a flaky stub: GETs retry transport errors and 502/503; POSTs retry
+// only 503 (rejected before applying), never transport errors.
+func TestClientRetryPolicy(t *testing.T) {
+	ctx := context.Background()
+	var gets, posts atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if gets.Add(1) < 3 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"status":"ok"}`))
+		case http.MethodPost:
+			if posts.Add(1) < 2 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"accepted":1}`))
+		}
+	}))
+	t.Cleanup(stub.Close)
+
+	c := New(stub.URL, nil)
+	c.Retries = 3
+	c.RetryBackoff = time.Millisecond
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("GET with retries: %v (attempts=%d)", err, gets.Load())
+	}
+	if gets.Load() != 3 {
+		t.Errorf("GET attempts = %d, want 3", gets.Load())
+	}
+	resp, err := c.Observe(ctx, []server.Observation{{User: "u", Service: "s", Value: 1}})
+	if err != nil || resp.Accepted != 1 {
+		t.Fatalf("POST with 503 retries: %v", err)
+	}
+	if posts.Load() != 2 {
+		t.Errorf("POST attempts = %d, want 2", posts.Load())
+	}
+
+	// Zero retries: first failure is final.
+	gets.Store(0)
+	c0 := New(stub.URL, nil)
+	if err := c0.Health(ctx); err == nil {
+		t.Error("unretried GET succeeded against failing stub")
+	}
+
+	// POSTs never retry transport errors (unknown outcome).
+	dead := New("http://127.0.0.1:1", nil)
+	dead.Retries = 2
+	dead.RetryBackoff = time.Millisecond
+	start := time.Now()
+	if _, err := dead.Observe(ctx, []server.Observation{{User: "u", Service: "s", Value: 1}}); err == nil {
+		t.Error("POST to dead endpoint succeeded")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("POST transport error appears to have been retried")
 	}
 }

@@ -1,0 +1,937 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/server"
+)
+
+// Config tunes a Gateway.
+type Config struct {
+	// Groups lists the shard groups: each inner slice is the replica
+	// base URLs of one group (leader + followers over one WAL lineage).
+	// Users are consistent-hashed across groups; within a group, writes
+	// go to the leader and reads spread across replicas.
+	Groups [][]string
+	// VNodes is the ring's virtual-node count per group (default 128).
+	VNodes int
+	// ProbeInterval is the health-probe cadence (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default min(interval, 1s)).
+	ProbeTimeout time.Duration
+	// Failover enables automatic leader promotion: when a group's leader
+	// stays unreachable for DownAfter consecutive probe rounds, the
+	// reachable follower with the highest applied sequence is promoted
+	// and the survivors re-pointed at it.
+	Failover bool
+	// DownAfter is how many consecutive probe failures mark a replica
+	// Down (default 3; the first failure marks it Suspect).
+	DownAfter int
+	// FanOutThreshold is the candidate-set size at or above which rank
+	// and batch-predict requests are split across a group's healthy
+	// replicas instead of sent to one (default 256). Every replica holds
+	// the full group state, so splitting scales scan work with replica
+	// count. <= -1 disables fan-out.
+	FanOutThreshold int
+	// MaxBody bounds proxied request bodies (default 64 MiB).
+	MaxBody int64
+	// Logger receives lifecycle and failover events (default slog.Default()).
+	Logger *slog.Logger
+	// HTTP is the client for proxying and probing; nil builds one with a
+	// connection pool sized for proxy fan-out.
+	HTTP *http.Client
+}
+
+// replica is one amfserver the gateway proxies to.
+type replica struct {
+	url        string
+	fails      atomic.Int32 // consecutive probe failures
+	health     atomic.Int32 // Health
+	role       atomic.Int32 // 1 = leader (as of the last probe)
+	appliedSeq atomic.Uint64
+	walSeq     atomic.Uint64
+}
+
+func (rep *replica) Health() Health { return Health(rep.health.Load()) }
+
+// group is one user shard: a set of replicas over one WAL lineage.
+type group struct {
+	name     string
+	member   *Member // ring presence; health mirrors the group's best replica
+	replicas []*replica
+	leader   atomic.Pointer[replica]
+	rr       atomic.Uint64 // read round-robin cursor
+	noLeader int           // consecutive probe rounds without a reachable leader
+}
+
+// Gateway routes the prediction API across a user-sharded cluster. It
+// is an http.Handler; construct with New, serve, Close on shutdown.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	groups []*group
+	byName map[string]*group
+	mux    *http.ServeMux
+	http   *http.Client
+	log    *slog.Logger
+
+	reg          *obs.Registry
+	requests     *obs.CounterVec
+	proxySeconds *obs.HistogramVec
+	proxyErrors  *obs.Counter
+	fanouts      *obs.Counter
+	failovers    *obs.Counter
+	probeFails   *obs.Counter
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a gateway over the configured shard groups and runs one
+// synchronous probe round so routing starts with live leader/health
+// knowledge. Call Start to launch the background probe loop.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("cluster: no shard groups configured")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = min(cfg.ProbeInterval, time.Second)
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.FanOutThreshold == 0 {
+		cfg.FanOutThreshold = 256
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		byName: make(map[string]*group),
+		http:   cfg.HTTP,
+		log:    cfg.Logger,
+		stop:   make(chan struct{}),
+	}
+	if g.http == nil {
+		// The default transport keeps only 2 idle conns per host — a
+		// proxy fanning every request through the same few backends
+		// would reconnect constantly.
+		g.http = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	for i, urls := range cfg.Groups {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("cluster: shard group %d has no replicas", i)
+		}
+		grp := &group{name: fmt.Sprintf("shard-%d", i)}
+		for _, u := range urls {
+			grp.replicas = append(grp.replicas, &replica{url: strings.TrimRight(u, "/")})
+		}
+		grp.member = g.ring.Add(grp.name)
+		g.groups = append(g.groups, grp)
+		g.byName[grp.name] = grp
+	}
+	g.buildMetrics()
+	g.routes()
+	g.probeAll() // seed health + leadership before the first request
+	return g, nil
+}
+
+// Start launches the background probe (and failover) loop.
+func (g *Gateway) Start() {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		ticker := time.NewTicker(g.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-ticker.C:
+				g.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop.
+func (g *Gateway) Close() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	g.wg.Wait()
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Ring exposes the routing ring (tests, status).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+func (g *Gateway) buildMetrics() {
+	r := obs.NewRegistry()
+	g.reg = r
+	g.requests = r.NewCounterVec("amf_cluster_requests_total",
+		"Requests routed through the gateway, by route.", "route")
+	g.proxySeconds = r.NewHistogramVec("amf_cluster_proxy_seconds",
+		"End-to-end gateway latency (routing + backend round trips), by route.", "route", 1e-6, 60, 8)
+	for _, route := range []string{"observe", "predict", "batch", "rank"} {
+		g.requests.With(route)
+		g.proxySeconds.With(route)
+	}
+	g.proxyErrors = r.NewCounter("amf_cluster_proxy_errors_total",
+		"Backend requests that failed (connection errors or non-2xx).")
+	g.fanouts = r.NewCounter("amf_cluster_fanouts_total",
+		"Rank/batch requests split across a group's replicas.")
+	g.failovers = r.NewCounter("amf_cluster_failovers_total",
+		"Leader promotions driven by the gateway.")
+	g.probeFails = r.NewCounter("amf_cluster_probe_failures_total",
+		"Health probes that failed.")
+	r.GaugeFunc("amf_cluster_groups", "Configured shard groups.",
+		func() float64 { return float64(len(g.groups)) })
+	r.GaugeFunc("amf_cluster_replicas", "Configured replicas across all groups.",
+		func() float64 {
+			n := 0
+			for _, grp := range g.groups {
+				n += len(grp.replicas)
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("amf_cluster_replicas_down", "Replicas currently marked down.",
+		func() float64 {
+			n := 0
+			for _, grp := range g.groups {
+				for _, rep := range grp.replicas {
+					if rep.Health() == Down {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+}
+
+func (g *Gateway) routes() {
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /api/v1/cluster/status", g.handleStatus)
+	g.mux.HandleFunc("POST /api/v1/observe", g.timed("observe", g.handleObserve))
+	g.mux.HandleFunc("GET /api/v1/predict", g.timed("predict", g.handlePredict))
+	g.mux.HandleFunc("POST /api/v1/predict", g.timed("batch", g.handleBatchPredict))
+	g.mux.HandleFunc("POST /api/v1/rank", g.timed("rank", g.handleRank))
+}
+
+func (g *Gateway) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	counter := g.requests.With(route)
+	hist := g.proxySeconds.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		counter.Inc()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	g.writeJSON(w, status, server.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// groupFor routes a user key through the ring.
+func (g *Gateway) groupFor(user string) *group {
+	m := g.ring.Lookup(user)
+	if m == nil {
+		return nil
+	}
+	return g.byName[m.Name()]
+}
+
+// writeTarget returns where a group's writes go: the probed leader, or
+// any replica claiming leadership, or the first replica (whose 503 will
+// tell the client to retry — by then a probe round has usually caught
+// up).
+func (grp *group) writeTarget() *replica {
+	if lead := grp.leader.Load(); lead != nil && lead.Health() != Down {
+		return lead
+	}
+	for _, rep := range grp.replicas {
+		if rep.role.Load() == 1 && rep.Health() != Down {
+			return rep
+		}
+	}
+	return grp.replicas[0]
+}
+
+// readTarget returns the next read replica: round-robin across replicas
+// that are not Down (followers and leader alike — every replica holds
+// the full group state).
+func (grp *group) readTarget() *replica {
+	n := len(grp.replicas)
+	start := int(grp.rr.Add(1))
+	for i := 0; i < n; i++ {
+		rep := grp.replicas[(start+i)%n]
+		if rep.Health() != Down {
+			return rep
+		}
+	}
+	return grp.replicas[start%n]
+}
+
+// healthyReplicas returns the group's non-Down replicas (fan-out set).
+func (grp *group) healthyReplicas() []*replica {
+	out := make([]*replica, 0, len(grp.replicas))
+	for _, rep := range grp.replicas {
+		if rep.Health() != Down {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// postJSON sends one JSON sub-request and decodes the 200 response into
+// out. Non-200 answers surface as errors carrying the backend's message.
+func (g *Gateway) postJSON(ctx context.Context, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.http.Do(req)
+	if err != nil {
+		g.proxyErrors.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.proxyErrors.Inc()
+		var apiErr server.ErrorResponse
+		msg := resp.Status
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &backendError{status: resp.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// forwardRaw proxies a request body verbatim to one backend and streams
+// the response straight through — the fast path for requests that need
+// no splitting or merging. Skipping the gateway-side decode/re-encode of
+// both body and response is what keeps the proxy hop within the issue's
+// 15% overhead budget on large ranking queries.
+func (g *Gateway) forwardRaw(w http.ResponseWriter, r *http.Request, url string, body []byte) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.http.Do(req)
+	if err != nil {
+		g.proxyErrors.Inc()
+		g.writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.proxyErrors.Inc()
+	}
+	copyResponse(w, resp)
+}
+
+// copyResponse relays a backend response verbatim. Propagating
+// Content-Length keeps the client leg un-chunked (one frame instead of
+// chunk headers), which matters at the proxy's latency floor.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// userFromJSON extracts the top-level "user" field from a request body
+// without materializing the rest (candidate lists run to thousands of
+// strings). Clients marshal the user field first, so the scan normally
+// stops after three tokens.
+func userFromJSON(raw []byte) (string, bool) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	t, err := dec.Token()
+	if err != nil || t != json.Delim('{') {
+		return "", false
+	}
+	for dec.More() {
+		key, err := dec.Token()
+		if err != nil {
+			return "", false
+		}
+		if key == "user" {
+			val, err := dec.Token()
+			if err != nil {
+				return "", false
+			}
+			s, ok := val.(string)
+			return s, ok
+		}
+		if err := skipValue(dec); err != nil {
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// skipValue consumes one JSON value (scalar, array, or object) from dec.
+func skipValue(dec *json.Decoder) error {
+	depth := 0
+	for {
+		t, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if d, ok := t.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
+}
+
+// backendError carries a backend's HTTP status through the merge so the
+// gateway can relay it instead of flattening everything to 502.
+type backendError struct {
+	status int
+	msg    string
+}
+
+func (e *backendError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
+
+// relayStatus picks the gateway's response status for a failed backend
+// call: backend HTTP statuses pass through (404 unknown user stays 404,
+// 503 follower/drain stays 503 so clients retry), transport errors
+// become 502.
+func relayStatus(err error) int {
+	var be *backendError
+	if errors.As(err, &be) {
+		return be.status
+	}
+	return http.StatusBadGateway
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	for _, grp := range g.groups {
+		if len(grp.healthyReplicas()) == 0 {
+			g.writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "degraded", "group": grp.name})
+			return
+		}
+	}
+	g.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WritePrometheus(w)
+}
+
+// GroupStatus describes one shard group in the gateway's status body.
+type GroupStatus struct {
+	Name     string          `json:"name"`
+	Leader   string          `json:"leader,omitempty"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ReplicaStatus describes one replica as of the last probe.
+type ReplicaStatus struct {
+	URL        string `json:"url"`
+	Health     string `json:"health"`
+	Role       string `json:"role"`
+	WALSeq     uint64 `json:"wal_seq,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Groups []GroupStatus `json:"groups"`
+		VNodes int           `json:"vnodes"`
+	}{VNodes: g.ring.VNodes()}
+	for _, grp := range g.groups {
+		gs := GroupStatus{Name: grp.name}
+		if lead := grp.leader.Load(); lead != nil {
+			gs.Leader = lead.url
+		}
+		for _, rep := range grp.replicas {
+			role := "follower"
+			if rep.role.Load() == 1 {
+				role = "leader"
+			}
+			gs.Replicas = append(gs.Replicas, ReplicaStatus{
+				URL: rep.url, Health: rep.Health().String(), Role: role,
+				WALSeq: rep.walSeq.Load(), AppliedSeq: rep.appliedSeq.Load(),
+			})
+		}
+		out.Groups = append(out.Groups, gs)
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// handleObserve splits an observation batch by user shard and forwards
+// each bucket to its group leader concurrently. Partial failure returns
+// the first error's status after all buckets settle — observations in
+// the buckets that succeeded ARE applied (the observe API is
+// append-only and idempotent in effect, so client retries are safe).
+func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Single-group deployments need no bucketing: the whole batch goes to
+	// the one leader verbatim (the backend still validates it).
+	if len(g.groups) == 1 {
+		g.forwardRaw(w, r, g.groups[0].writeTarget().url+"/api/v1/observe", raw)
+		return
+	}
+	var req server.ObserveRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		g.writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	buckets := make(map[*group][]server.Observation)
+	for _, o := range req.Observations {
+		grp := g.groupFor(o.User)
+		if grp == nil {
+			g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+			return
+		}
+		buckets[grp] = append(buckets[grp], o)
+	}
+	var (
+		mu       sync.Mutex
+		merged   server.ObserveResponse
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for grp, obsBatch := range buckets {
+		wg.Add(1)
+		go func(grp *group, obsBatch []server.Observation) {
+			defer wg.Done()
+			var resp server.ObserveResponse
+			err := g.postJSON(r.Context(), grp.writeTarget().url+"/api/v1/observe",
+				server.ObserveRequest{Observations: obsBatch}, &resp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("group %s: %w", grp.name, err)
+				}
+				return
+			}
+			merged.Accepted += resp.Accepted
+			merged.NewUsers += resp.NewUsers
+			merged.NewServices += resp.NewServices
+		}(grp, obsBatch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		g.writeError(w, relayStatus(firstErr), "observe: %v", firstErr)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// handlePredict proxies a single prediction to a read replica of the
+// user's group, streaming the response straight through.
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		g.writeError(w, http.StatusBadRequest, "user query parameter is required")
+		return
+	}
+	grp := g.groupFor(user)
+	if grp == nil {
+		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		return
+	}
+	target := grp.readTarget().url + "/api/v1/predict?" + r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := g.http.Do(req)
+	if err != nil {
+		g.proxyErrors.Inc()
+		g.writeError(w, http.StatusBadGateway, "predict: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.proxyErrors.Inc()
+	}
+	copyResponse(w, resp)
+}
+
+// handleBatchPredict routes a candidate batch to the user's group. At or
+// above the fan-out threshold the candidate list is split across the
+// group's healthy replicas (each holds the full group state) and the
+// partial responses are concatenated back in request order.
+func (g *Gateway) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	user, userOK := userFromJSON(raw)
+	var req server.BatchPredictRequest
+	if !userOK || user == "" {
+		// Malformed or unroutable: decode fully for a precise 400.
+		if err := json.Unmarshal(raw, &req); err != nil {
+			g.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		g.writeError(w, http.StatusBadRequest, "user and services are required")
+		return
+	}
+	grp := g.groupFor(user)
+	if grp == nil {
+		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		return
+	}
+	reps := grp.healthyReplicas()
+	if g.cfg.FanOutThreshold < 0 || len(reps) < 2 {
+		g.forwardRaw(w, r, grp.readTarget().url+"/api/v1/predict", raw)
+		return
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Services) == 0 {
+		g.writeError(w, http.StatusBadRequest, "user and services are required")
+		return
+	}
+	if len(req.Services) < g.cfg.FanOutThreshold {
+		g.forwardRaw(w, r, grp.readTarget().url+"/api/v1/predict", raw)
+		return
+	}
+
+	g.fanouts.Inc()
+	chunks := splitStrings(req.Services, len(reps))
+	parts := make([]server.BatchPredictResponse, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, chunk []string) {
+			defer wg.Done()
+			errs[i] = g.postJSON(r.Context(), reps[i].url+"/api/v1/predict",
+				server.BatchPredictRequest{User: req.User, Services: chunk}, &parts[i])
+		}(i, chunk)
+	}
+	wg.Wait()
+	merged := server.BatchPredictResponse{User: req.User, Predictions: make([]server.BatchPrediction, 0, len(req.Services))}
+	for i, err := range errs {
+		if err != nil {
+			g.writeError(w, relayStatus(err), "batch predict (replica %s): %v", reps[i].url, err)
+			return
+		}
+		merged.Predictions = append(merged.Predictions, parts[i].Predictions...)
+	}
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// handleRank routes a ranking query to the user's group. Candidate sets
+// at or above the fan-out threshold are split across the group's
+// healthy replicas; each replica returns its slice's top-k and the
+// gateway merges the partial rankings. Full-catalog rankings (no
+// candidate list) go to one replica — they cannot be split, every
+// replica would scan the same catalog.
+func (g *Gateway) handleRank(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	user, userOK := userFromJSON(raw)
+	var req server.RankRequest
+	if !userOK || user == "" {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			g.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		g.writeError(w, http.StatusBadRequest, "user is required")
+		return
+	}
+	grp := g.groupFor(user)
+	if grp == nil {
+		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		return
+	}
+	reps := grp.healthyReplicas()
+	if g.cfg.FanOutThreshold < 0 || len(reps) < 2 {
+		g.forwardRaw(w, r, grp.readTarget().url+"/api/v1/rank", raw)
+		return
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	// Full-catalog rankings (no candidate list) cannot be split — every
+	// replica would scan the same catalog — so they go to one replica.
+	if len(req.Services) == 0 || len(req.Services) < g.cfg.FanOutThreshold {
+		g.forwardRaw(w, r, grp.readTarget().url+"/api/v1/rank", raw)
+		return
+	}
+
+	g.fanouts.Inc()
+	lowerIsBetter := req.Metric != "tp" && req.Metric != "throughput"
+	chunks := splitStrings(req.Services, len(reps))
+	parts := make([]server.RankResponse, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, chunk []string) {
+			defer wg.Done()
+			sub := req
+			sub.Services = chunk
+			errs[i] = g.postJSON(r.Context(), reps[i].url+"/api/v1/rank", sub, &parts[i])
+		}(i, chunk)
+	}
+	wg.Wait()
+	merged := server.RankResponse{User: req.User}
+	var all []server.RankedService
+	for i, err := range errs {
+		if err != nil {
+			g.writeError(w, relayStatus(err), "rank (replica %s): %v", reps[i].url, err)
+			return
+		}
+		merged.Metric = parts[i].Metric
+		merged.Candidates += parts[i].Candidates
+		merged.Unknown = append(merged.Unknown, parts[i].Unknown...)
+		all = append(all, parts[i].Ranked...)
+		// Partial rankings come from per-replica views; report the most
+		// advanced one as the ranking's "as of" version.
+		if parts[i].ViewVersion > merged.ViewVersion {
+			merged.ViewVersion = parts[i].ViewVersion
+		}
+	}
+	merged.Ranked = mergeRanked(all, req.TopK, lowerIsBetter)
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// splitStrings cuts ss into n contiguous chunks (sizes differing by at
+// most one, no empty chunks unless len(ss) < n).
+func splitStrings(ss []string, n int) [][]string {
+	if n > len(ss) {
+		n = len(ss)
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(ss)/n, (i+1)*len(ss)/n
+		out = append(out, ss[lo:hi])
+	}
+	return out
+}
+
+// mergeRanked merges per-replica partial rankings into one order, best
+// first, truncated to k (k <= 0 keeps everything). The replicas ranked
+// disjoint candidate slices, so this is a pure k-way merge by value —
+// name tie-break keeps the order deterministic across gateways (the
+// per-ID tie-break core.TopK uses is unavailable here: partial results
+// carry only names).
+func mergeRanked(all []server.RankedService, k int, lowerIsBetter bool) []server.RankedService {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Value != all[j].Value {
+			if lowerIsBetter {
+				return all[i].Value < all[j].Value
+			}
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Service < all[j].Service
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// probeAll probes every replica of every group and updates routing
+// state; one round also drives failover for leaderless groups.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, grp := range g.groups {
+		for _, rep := range grp.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				g.probe(rep)
+			}(rep)
+		}
+	}
+	wg.Wait()
+	for _, grp := range g.groups {
+		g.settleGroup(grp)
+	}
+}
+
+// probe fetches one replica's cluster status and updates its health,
+// role, and sequence numbers.
+func (g *Gateway) probe(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/api/v1/cluster/status", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.http.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+	}
+	if err != nil {
+		g.probeFails.Inc()
+		fails := rep.fails.Add(1)
+		switch {
+		case int(fails) >= g.cfg.DownAfter:
+			rep.health.Store(int32(Down))
+		default:
+			rep.health.Store(int32(Suspect))
+		}
+		return
+	}
+	var st server.ClusterStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		g.probeFails.Inc()
+		return
+	}
+	rep.fails.Store(0)
+	rep.health.Store(int32(Healthy))
+	if st.Role == "leader" {
+		rep.role.Store(1)
+		rep.walSeq.Store(st.WALSeq)
+	} else {
+		rep.role.Store(0)
+		rep.appliedSeq.Store(st.AppliedSeq)
+	}
+}
+
+// settleGroup folds replica states into group-level routing decisions:
+// the leader pointer, the ring member's health, and — when failover is
+// enabled — promotion of the best follower after the leader has been
+// gone DownAfter consecutive rounds.
+func (g *Gateway) settleGroup(grp *group) {
+	var leader *replica
+	best := Down
+	for _, rep := range grp.replicas {
+		if h := rep.Health(); h < best {
+			best = h
+		}
+		if rep.role.Load() == 1 && rep.Health() == Healthy {
+			leader = rep
+		}
+	}
+	grp.member.SetHealth(best)
+	if leader != nil {
+		grp.leader.Store(leader)
+		grp.noLeader = 0
+		return
+	}
+	grp.noLeader++
+	if !g.cfg.Failover || grp.noLeader < g.cfg.DownAfter {
+		return
+	}
+	g.failover(grp)
+}
+
+// failover promotes the healthiest follower — the one with the highest
+// applied sequence, so the least replicated work is lost — and points
+// the surviving followers at it.
+func (g *Gateway) failover(grp *group) {
+	var candidate *replica
+	for _, rep := range grp.replicas {
+		if rep.Health() != Healthy || rep.role.Load() == 1 {
+			continue
+		}
+		if candidate == nil || rep.appliedSeq.Load() > candidate.appliedSeq.Load() {
+			candidate = rep
+		}
+	}
+	if candidate == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.postJSON(ctx, candidate.url+"/api/v1/promote", struct{}{}, nil); err != nil {
+		g.log.Warn("promotion failed", "group", grp.name, "candidate", candidate.url, "err", err)
+		return
+	}
+	g.failovers.Inc()
+	candidate.role.Store(1)
+	grp.leader.Store(candidate)
+	grp.noLeader = 0
+	g.log.Info("promoted new leader", "group", grp.name, "leader", candidate.url)
+	for _, rep := range grp.replicas {
+		if rep == candidate || rep.Health() == Down {
+			continue
+		}
+		if err := g.postJSON(ctx, rep.url+"/api/v1/cluster/leader",
+			map[string]string{"leader": candidate.url}, nil); err != nil {
+			g.log.Warn("re-pointing follower failed", "follower", rep.url, "err", err)
+		}
+	}
+}

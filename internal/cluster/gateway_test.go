@@ -1,0 +1,518 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/server"
+	"github.com/qoslab/amf/internal/store"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// backend spins up one in-memory amfserver over httptest.
+func backend(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg), server.WithLogger(quietLogger()))
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+	return svc, ts
+}
+
+// newGateway builds a gateway over the given groups; mod may tweak the
+// config before construction. The probe loop is NOT started — tests
+// drive probes explicitly with probeAll for determinism.
+func newGateway(t *testing.T, groups [][]string, mod func(*Config)) *Gateway {
+	t.Helper()
+	cfg := Config{Groups: groups, Logger: quietLogger()}
+	if mod != nil {
+		mod(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func gwReq(t *testing.T, g *Gateway, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req := httptest.NewRequest(method, path, reader)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(w.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v (body %q)", err, w.Body.String())
+	}
+	return v
+}
+
+func TestGatewayShardsUsersAcrossGroups(t *testing.T) {
+	_, ts0 := backend(t)
+	_, ts1 := backend(t)
+	g := newGateway(t, [][]string{{ts0.URL}, {ts1.URL}}, nil)
+
+	const users = 24
+	var obs []server.Observation
+	for i := 0; i < users; i++ {
+		for j := 0; j < 3; j++ {
+			obs = append(obs, server.Observation{
+				User:    fmt.Sprintf("user-%d", i),
+				Service: fmt.Sprintf("svc-%d", j),
+				Value:   1 + float64((i+j)%5),
+			})
+		}
+	}
+	w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{Observations: obs})
+	if w.Code != http.StatusOK {
+		t.Fatalf("observe via gateway: HTTP %d %s", w.Code, w.Body.String())
+	}
+	resp := decode[server.ObserveResponse](t, w)
+	if resp.Accepted != len(obs) {
+		t.Fatalf("accepted %d of %d", resp.Accepted, len(obs))
+	}
+	if resp.NewUsers != users {
+		t.Fatalf("merged NewUsers = %d, want %d", resp.NewUsers, users)
+	}
+
+	// Both shards should hold a strict, non-empty subset of the users.
+	total := 0
+	for _, ts := range []*httptest.Server{ts0, ts1} {
+		st := backendStats(t, ts.URL)
+		if st.Users == 0 || st.Users == users {
+			t.Fatalf("shard %s holds %d users — sharding did not split", ts.URL, st.Users)
+		}
+		total += st.Users
+	}
+	if total != users {
+		t.Fatalf("shards hold %d users combined, want %d", total, users)
+	}
+
+	// Single predictions route to the right shard regardless of user.
+	for i := 0; i < users; i++ {
+		path := fmt.Sprintf("/api/v1/predict?user=user-%d&service=svc-0", i)
+		if w := gwReq(t, g, http.MethodGet, path, nil); w.Code != http.StatusOK {
+			t.Fatalf("predict user-%d: HTTP %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	// Unknown user's 404 passes through untouched.
+	if w := gwReq(t, g, http.MethodGet, "/api/v1/predict?user=ghost&service=svc-0", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("ghost predict: HTTP %d", w.Code)
+	}
+}
+
+func backendStats(t *testing.T, url string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGatewayFanOut verifies split/merge of batch predictions and
+// rankings. Three "replicas" are three listeners over ONE server, so
+// their state is identical by construction — which is exactly the
+// contract fan-out relies on (replicas of a group converge via WAL
+// shipping).
+func TestGatewayFanOut(t *testing.T) {
+	svc, ts := backend(t)
+	ts2 := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts2.Close)
+	ts3 := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts3.Close)
+
+	g := newGateway(t, [][]string{{ts.URL, ts2.URL, ts3.URL}}, func(c *Config) {
+		c.FanOutThreshold = 4 // small candidate sets fan out too
+	})
+
+	var obs []server.Observation
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			obs = append(obs, server.Observation{
+				User:    fmt.Sprintf("u%d", i),
+				Service: fmt.Sprintf("s%d", j),
+				Value:   0.5 + float64((i*3+j)%7),
+			})
+		}
+	}
+	if w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{Observations: obs}); w.Code != http.StatusOK {
+		t.Fatalf("seed: HTTP %d %s", w.Code, w.Body.String())
+	}
+
+	candidates := []string{"s0", "s1", "s2", "s3", "s4", "ghost", "s6", "s7"}
+
+	// Batch predict: gateway fan-out must match a direct single-server
+	// answer exactly, order included.
+	breq := server.BatchPredictRequest{User: "u1", Services: candidates}
+	direct := postBackend[server.BatchPredictResponse](t, ts.URL+"/api/v1/predict", breq)
+	viaGW := decode[server.BatchPredictResponse](t, gwReq(t, g, http.MethodPost, "/api/v1/predict", breq))
+	if len(viaGW.Predictions) != len(direct.Predictions) {
+		t.Fatalf("fan-out returned %d predictions, direct %d", len(viaGW.Predictions), len(direct.Predictions))
+	}
+	for i := range direct.Predictions {
+		d, gw := direct.Predictions[i], viaGW.Predictions[i]
+		if d.Service != gw.Service || d.OK != gw.OK || d.Value != gw.Value {
+			t.Fatalf("prediction %d differs: direct %+v gateway %+v", i, d, gw)
+		}
+	}
+
+	// Rank: merged top-k must equal the direct top-k.
+	rreq := server.RankRequest{User: "u1", Services: candidates, TopK: 3}
+	directRank := postBackend[server.RankResponse](t, ts.URL+"/api/v1/rank", rreq)
+	gwRank := decode[server.RankResponse](t, gwReq(t, g, http.MethodPost, "/api/v1/rank", rreq))
+	if len(gwRank.Ranked) != 3 || len(directRank.Ranked) != 3 {
+		t.Fatalf("rank sizes: gateway %d direct %d", len(gwRank.Ranked), len(directRank.Ranked))
+	}
+	for i := range directRank.Ranked {
+		if directRank.Ranked[i] != gwRank.Ranked[i] {
+			t.Fatalf("rank %d differs: direct %+v gateway %+v", i, directRank.Ranked[i], gwRank.Ranked[i])
+		}
+	}
+	if gwRank.Candidates != directRank.Candidates || len(gwRank.Unknown) != 1 || gwRank.Unknown[0] != "ghost" {
+		t.Fatalf("merged rank metadata: %+v", gwRank)
+	}
+
+	// Throughput metric merges descending.
+	tpReq := server.RankRequest{User: "u1", Services: candidates, TopK: 4, Metric: "tp"}
+	tpRank := decode[server.RankResponse](t, gwReq(t, g, http.MethodPost, "/api/v1/rank", tpReq))
+	for i := 1; i < len(tpRank.Ranked); i++ {
+		if tpRank.Ranked[i].Value > tpRank.Ranked[i-1].Value {
+			t.Fatalf("tp merge not descending: %+v", tpRank.Ranked)
+		}
+	}
+
+	// The fan-out counter moved (three fanned-out requests above).
+	if v := metricValue(t, g, "amf_cluster_fanouts_total"); v < 3 {
+		t.Errorf("amf_cluster_fanouts_total = %g, want >= 3", v)
+	}
+}
+
+func postBackend[T any](t *testing.T, url string, body any) T {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v T
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: HTTP %d %s", url, resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func metricValue(t *testing.T, g *Gateway, name string) float64 {
+	t.Helper()
+	w := gwReq(t, g, http.MethodGet, "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", w.Code)
+	}
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			var v float64
+			fields := strings.Fields(line)
+			if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, w.Body.String())
+	return 0
+}
+
+func TestGatewayHealthAndStatus(t *testing.T) {
+	_, ts0 := backend(t)
+	_, ts1 := backend(t)
+	g := newGateway(t, [][]string{{ts0.URL}, {ts1.URL}}, nil)
+
+	if w := gwReq(t, g, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d", w.Code)
+	}
+	w := gwReq(t, g, http.MethodGet, "/api/v1/cluster/status", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/api/v1/cluster/status: HTTP %d", w.Code)
+	}
+	var st struct {
+		Groups []GroupStatus `json:"groups"`
+		VNodes int           `json:"vnodes"`
+	}
+	if err := json.NewDecoder(w.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Groups) != 2 || st.VNodes != 128 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, grp := range st.Groups {
+		if grp.Leader == "" {
+			t.Errorf("group %s has no probed leader", grp.Name)
+		}
+		if len(grp.Replicas) != 1 || grp.Replicas[0].Health != "healthy" {
+			t.Errorf("group %s replicas = %+v", grp.Name, grp.Replicas)
+		}
+	}
+
+	// Kill one shard: /healthz degrades after the down threshold.
+	ts1.Close()
+	for i := 0; i < 3; i++ {
+		g.probeAll()
+	}
+	if w := gwReq(t, g, http.MethodGet, "/healthz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with a dead shard: HTTP %d", w.Code)
+	}
+}
+
+func TestGatewayReadsAvoidDownReplica(t *testing.T) {
+	svc, ts := backend(t)
+	tsDead := httptest.NewServer(svc.Handler())
+	g := newGateway(t, [][]string{{ts.URL, tsDead.URL}}, nil)
+
+	if w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{
+		Observations: []server.Observation{{User: "u", Service: "s", Value: 1}},
+	}); w.Code != http.StatusOK {
+		t.Fatalf("seed: HTTP %d %s", w.Code, w.Body.String())
+	}
+
+	tsDead.Close()
+	for i := 0; i < 3; i++ {
+		g.probeAll()
+	}
+	// Every read must now land on the surviving replica: the round-robin
+	// cursor alternates, so 6 straight successes prove the skip works.
+	for i := 0; i < 6; i++ {
+		if w := gwReq(t, g, http.MethodGet, "/api/v1/predict?user=u&service=s", nil); w.Code != http.StatusOK {
+			t.Fatalf("predict %d with a down replica: HTTP %d %s", i, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestGatewayAutoFailover runs a real leader+follower pair under the
+// gateway, kills the leader, and expects the probe loop to promote the
+// follower (shared-storage recovery) and resume serving writes.
+func TestGatewayAutoFailover(t *testing.T) {
+	dir := t.TempDir()
+	leader, mgr, _ := durableBackend(t, dir)
+	tsLeader := httptest.NewServer(leader.Handler())
+
+	folCfg := core.DefaultConfig(-0.007, 0, 20)
+	folCfg.Expiry = 0
+	follower := server.New(core.MustNew(folCfg), server.WithLogger(quietLogger()))
+	tsFollower := httptest.NewServer(follower.Handler())
+	t.Cleanup(tsFollower.Close)
+	t.Cleanup(func() { follower.Close() })
+	if _, err := follower.StartFollower(server.FollowerConfig{
+		Leader:        tsLeader.URL,
+		LeaderData:    dir,
+		StoreOptions:  store.Options{Sync: store.SyncAlways, CheckpointInterval: time.Hour, Logger: quietLogger()},
+		WaitMS:        100,
+		RetryInterval: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("StartFollower: %v", err)
+	}
+
+	g := newGateway(t, [][]string{{tsLeader.URL, tsFollower.URL}}, func(c *Config) {
+		c.Failover = true
+		c.DownAfter = 2
+	})
+
+	if w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{
+		Observations: []server.Observation{{User: "u", Service: "s", Value: 2}},
+	}); w.Code != http.StatusOK {
+		t.Fatalf("seed via gateway: HTTP %d %s", w.Code, w.Body.String())
+	}
+
+	// Wait for the follower to catch up, then kill the leader hard.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := followerHas(t, tsFollower.URL, "u", "s"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never replicated the seed sample")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tsLeader.Close()
+	leader.Close()
+	mgr.Close()
+
+	// Probe rounds: round 1-2 mark the leader down; once it has been
+	// leaderless DownAfter rounds the gateway promotes the follower.
+	for i := 0; i < 6; i++ {
+		g.probeAll()
+	}
+
+	// Writes flow again, through the promoted follower.
+	ok := false
+	for i := 0; i < 50; i++ {
+		w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{
+			Observations: []server.Observation{{User: "u", Service: "s", Value: 2.5}},
+		})
+		if w.Code == http.StatusOK {
+			ok = true
+			break
+		}
+		g.probeAll()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("writes never recovered after failover")
+	}
+	if v := metricValue(t, g, "amf_cluster_failovers_total"); v != 1 {
+		t.Errorf("amf_cluster_failovers_total = %g, want 1", v)
+	}
+	// The seeded sample survived promotion (shared-storage recovery).
+	if _, ok := followerHas(t, tsFollower.URL, "u", "s"); !ok {
+		t.Fatal("promoted leader lost the seeded pair")
+	}
+}
+
+func durableBackend(t *testing.T, dir string) (*server.Server, *store.Manager, store.RecoveryStats) {
+	t.Helper()
+	mgr, err := store.Open(dir, store.Options{
+		Sync:               store.SyncAlways,
+		CheckpointInterval: time.Hour,
+		Logger:             quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg), server.WithLogger(quietLogger()))
+	rs, err := svc.AttachDurable(mgr)
+	if err != nil {
+		t.Fatalf("AttachDurable: %v", err)
+	}
+	return svc, mgr, rs
+}
+
+func followerHas(t *testing.T, url, user, service string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/predict?user=%s&service=%s", url, user, service))
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var pr server.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, false
+	}
+	return pr.Value, true
+}
+
+func TestGatewayRejectsBadRequests(t *testing.T) {
+	_, ts := backend(t)
+	g := newGateway(t, [][]string{{ts.URL}}, nil)
+
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodPost, "/api/v1/observe", map[string]string{"bad": "x"}, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/observe", server.ObserveRequest{}, http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/predict?service=s", nil, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/predict", server.BatchPredictRequest{}, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/rank", server.RankRequest{}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := gwReq(t, g, tc.method, tc.path, tc.body); w.Code != tc.want {
+			t.Errorf("%s %s: HTTP %d, want %d (%s)", tc.method, tc.path, w.Code, tc.want, w.Body.String())
+		}
+	}
+}
+
+func TestGatewayConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no groups should be rejected")
+	}
+	if _, err := New(Config{Groups: [][]string{{}}}); err == nil {
+		t.Error("empty group should be rejected")
+	}
+}
+
+func TestSplitStrings(t *testing.T) {
+	ss := []string{"a", "b", "c", "d", "e"}
+	chunks := splitStrings(ss, 2)
+	if len(chunks) != 2 || len(chunks[0])+len(chunks[1]) != 5 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	// More chunks than items: one item each, no empties.
+	chunks = splitStrings(ss[:2], 5)
+	if len(chunks) != 2 || len(chunks[0]) != 1 || len(chunks[1]) != 1 {
+		t.Fatalf("over-split chunks = %v", chunks)
+	}
+	// Order is preserved across the concatenation.
+	var flat []string
+	for _, c := range splitStrings(ss, 3) {
+		flat = append(flat, c...)
+	}
+	for i, s := range flat {
+		if s != ss[i] {
+			t.Fatalf("order broken: %v", flat)
+		}
+	}
+}
+
+func TestMergeRanked(t *testing.T) {
+	parts := []server.RankedService{
+		{Service: "b", Value: 2}, {Service: "a", Value: 1}, {Service: "c", Value: 3},
+		{Service: "d", Value: 1}, // ties with a; name breaks the tie
+	}
+	got := mergeRanked(append([]server.RankedService(nil), parts...), 3, true)
+	if len(got) != 3 || got[0].Service != "a" || got[1].Service != "d" || got[2].Service != "b" {
+		t.Fatalf("rt merge = %+v", got)
+	}
+	got = mergeRanked(append([]server.RankedService(nil), parts...), 0, false)
+	if len(got) != 4 || got[0].Service != "c" {
+		t.Fatalf("tp merge = %+v", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cluster is the scale-out layer of the QoS prediction service:
+// a consistent-hash ring that shards users across replica groups, and an
+// HTTP gateway (amfgateway) that routes the prediction API by user
+// shard, fans large ranking queries out across a group's replicas, and
+// drives leader failover. Within one group every replica holds the full
+// group state via WAL-shipping replication (internal/server), so reads
+// scale with replica count while writes funnel through the group leader.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Health is a ring member's availability state.
+type Health int32
+
+const (
+	// Healthy members receive traffic.
+	Healthy Health = iota
+	// Suspect members failed a recent probe but have not crossed the
+	// down threshold; they still receive traffic (one failed probe is
+	// usually a blip, and draining on it would flap the ring).
+	Suspect
+	// Down members are skipped: lookups walk clockwise to the next
+	// member that is not Down.
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// Member is one ring participant (a shard group, in the gateway's use).
+// Health is updated concurrently by probes and read by lookups.
+type Member struct {
+	name   string
+	health atomic.Int32
+}
+
+// Name returns the member's identity (stable across health changes).
+func (m *Member) Name() string { return m.name }
+
+// Health returns the member's current availability state.
+func (m *Member) Health() Health { return Health(m.health.Load()) }
+
+// SetHealth updates the member's availability state.
+func (m *Member) SetHealth(h Health) { m.health.Store(int32(h)) }
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is
+// hashed at vnodes positions; a key belongs to the first member
+// clockwise from the key's hash. Membership changes rendezvous
+// minimally: adding or removing one member moves only the keys in its
+// arcs (~1/N of the keyspace), every other key keeps its owner — which
+// is what makes reshards incremental rather than a full reshuffle.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]*Member
+	hashes  []uint64  // sorted vnode positions
+	owners  []*Member // owners[i] owns hashes[i]
+}
+
+// NewRing creates an empty ring with the given virtual-node count per
+// member (<= 0 selects the default of 128, which keeps the keyspace
+// imbalance between members within a few percent).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]*Member)}
+}
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Add inserts a member (idempotent: re-adding returns the existing
+// member unchanged) and rebuilds the vnode index.
+func (r *Ring) Add(name string) *Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[name]; ok {
+		return m
+	}
+	m := &Member{name: name}
+	r.members[name] = m
+	r.rebuild()
+	return m
+}
+
+// Remove deletes a member; its arcs redistribute to the clockwise
+// successors.
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; !ok {
+		return
+	}
+	delete(r.members, name)
+	r.rebuild()
+}
+
+// rebuild recomputes the sorted vnode index; callers hold mu.
+func (r *Ring) rebuild() {
+	n := len(r.members) * r.vnodes
+	r.hashes = make([]uint64, 0, n)
+	r.owners = make([]*Member, 0, n)
+	type vnode struct {
+		hash  uint64
+		owner *Member
+	}
+	vns := make([]vnode, 0, n)
+	for name, m := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			vns = append(vns, vnode{hash: hash64(fmt.Sprintf("%s#%d", name, i)), owner: m})
+		}
+	}
+	sort.Slice(vns, func(i, j int) bool { return vns[i].hash < vns[j].hash })
+	for _, v := range vns {
+		r.hashes = append(r.hashes, v.hash)
+		r.owners = append(r.owners, v.owner)
+	}
+}
+
+// Members returns the current members in name order.
+func (r *Ring) Members() []*Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.members))
+	for name := range r.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Member, len(names))
+	for i, name := range names {
+		out[i] = r.members[name]
+	}
+	return out
+}
+
+// Member returns the named member, or nil.
+func (r *Ring) Member(name string) *Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[name]
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns the member owning key: the first member clockwise from
+// the key's hash whose health is not Down. When every member is Down it
+// returns the natural owner (routing somewhere beats routing nowhere —
+// the request then fails with an honest connection error). Returns nil
+// only for an empty ring.
+func (r *Ring) Lookup(key string) *Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	// First vnode clockwise of h (wrapping at the top).
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if start == len(r.hashes) {
+		start = 0
+	}
+	natural := r.owners[start]
+	// Skip Down members; distinct owners only (consecutive vnodes often
+	// repeat an owner).
+	seen := make(map[*Member]bool, len(r.members))
+	for i := 0; i < len(r.owners); i++ {
+		m := r.owners[(start+i)%len(r.owners)]
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if m.Health() != Down {
+			return m
+		}
+	}
+	return natural
+}
+
+// hash64 is FNV-1a, the stdlib's stable non-cryptographic hash — the
+// placement only needs uniformity, and stability across processes so
+// every gateway agrees on ownership.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

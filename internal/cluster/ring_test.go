@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupDeterministic(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	for _, name := range []string{"shard-0", "shard-1", "shard-2"} {
+		a.Add(name)
+		b.Add(name)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if ma, mb := a.Lookup(key), b.Lookup(key); ma.Name() != mb.Name() {
+			t.Fatalf("key %q: ring A says %s, ring B says %s", key, ma.Name(), mb.Name())
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if r.VNodes() != 128 {
+		t.Fatalf("default vnodes = %d", r.VNodes())
+	}
+	if r.Lookup("anything") != nil {
+		t.Fatal("empty ring should return nil")
+	}
+	m := r.Add("only")
+	if got := r.Lookup("anything"); got != m {
+		t.Fatalf("single-member ring routed to %v", got)
+	}
+	// Even a Down sole member still owns everything (fallback).
+	m.SetHealth(Down)
+	if got := r.Lookup("anything"); got != m {
+		t.Fatal("sole Down member should still be the fallback owner")
+	}
+}
+
+func TestRingAddIdempotentAndRemove(t *testing.T) {
+	r := NewRing(32)
+	m1 := r.Add("a")
+	m2 := r.Add("a")
+	if m1 != m2 {
+		t.Fatal("re-adding a member should return the existing one")
+	}
+	r.Add("b")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	r.Remove("a")
+	r.Remove("a") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("len after remove = %d", r.Len())
+	}
+	if got := r.Lookup("any"); got.Name() != "b" {
+		t.Fatalf("after removing a, key routed to %s", got.Name())
+	}
+	if r.Member("a") != nil || r.Member("b") == nil {
+		t.Fatal("Member lookup inconsistent")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 128 vnodes per member the per-member share of a large keyset
+	// should be within a reasonable band of the fair share.
+	r := NewRing(128)
+	const members = 4
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	const keys = 20000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("user-%d", i)).Name()]++
+	}
+	fair := keys / members
+	for name, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("member %s owns %d keys (fair share %d)", name, n, fair)
+		}
+	}
+	if len(counts) != members {
+		t.Fatalf("only %d members received keys", len(counts))
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	// Consistent hashing's defining property: adding one member moves
+	// roughly 1/N of the keys and nothing else.
+	r := NewRing(128)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	const keys = 10000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Lookup(fmt.Sprintf("user-%d", i)).Name()
+	}
+	r.Add("shard-3")
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		after := r.Lookup(fmt.Sprintf("user-%d", i)).Name()
+		if after != before[i] {
+			moved++
+			if after != "shard-3" {
+				movedElsewhere++
+			}
+		}
+	}
+	// Expected movement is keys/4 = 2500; allow generous slack.
+	if moved > keys/2 {
+		t.Errorf("adding one member moved %d/%d keys — not incremental", moved, keys)
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between PRE-EXISTING members; only the new member may gain keys", movedElsewhere)
+	}
+	// Removing it restores the original assignment exactly.
+	r.Remove("shard-3")
+	for i := 0; i < keys; i++ {
+		if got := r.Lookup(fmt.Sprintf("user-%d", i)).Name(); got != before[i] {
+			t.Fatalf("key user-%d moved from %s to %s after add+remove", i, before[i], got)
+		}
+	}
+}
+
+func TestRingLookupSkipsDown(t *testing.T) {
+	r := NewRing(128)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	const keys = 3000
+	owner := make([]string, keys)
+	for i := range owner {
+		owner[i] = r.Lookup(fmt.Sprintf("user-%d", i)).Name()
+	}
+	r.Member("shard-1").SetHealth(Down)
+	for i := 0; i < keys; i++ {
+		got := r.Lookup(fmt.Sprintf("user-%d", i))
+		if got.Name() == "shard-1" {
+			t.Fatalf("key user-%d routed to Down member", i)
+		}
+		// Keys whose natural owner is up keep their owner.
+		if owner[i] != "shard-1" && got.Name() != owner[i] {
+			t.Fatalf("key user-%d owned by healthy %s was re-routed to %s", i, owner[i], got.Name())
+		}
+	}
+	// Suspect members still receive traffic.
+	r.Member("shard-1").SetHealth(Suspect)
+	back := 0
+	for i := 0; i < keys; i++ {
+		if r.Lookup(fmt.Sprintf("user-%d", i)).Name() == "shard-1" {
+			back++
+		}
+	}
+	if back == 0 {
+		t.Fatal("Suspect member received no traffic")
+	}
+	// Recovery restores the exact original assignment.
+	r.Member("shard-1").SetHealth(Healthy)
+	for i := 0; i < keys; i++ {
+		if got := r.Lookup(fmt.Sprintf("user-%d", i)).Name(); got != owner[i] {
+			t.Fatalf("key user-%d not restored to %s after recovery (got %s)", i, owner[i], got)
+		}
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{Healthy: "healthy", Suspect: "suspect", Down: "down"} {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q", h, h.String())
+		}
+	}
+}
+
+func TestRingMembers(t *testing.T) {
+	r := NewRing(16)
+	for _, n := range []string{"c", "a", "b"} {
+		r.Add(n)
+	}
+	ms := r.Members()
+	if len(ms) != 3 || ms[0].Name() != "a" || ms[1].Name() != "b" || ms[2].Name() != "c" {
+		t.Fatalf("Members() = %v", ms)
+	}
+}

@@ -194,3 +194,76 @@ func TestRestoreRejectsDuplicates(t *testing.T) {
 		t.Fatal("failed restore must not clear the registry")
 	}
 }
+
+func TestRegisterIDIdempotentReplay(t *testing.T) {
+	// WAL replay is at-least-once: re-applying the exact registration
+	// must be a no-op, not an error and not a new ID.
+	r := New()
+	if err := r.RegisterID("u", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterID("u", 7); err != nil {
+		t.Fatalf("exact duplicate replay: %v", err)
+	}
+	if id, ok := r.Lookup("u"); !ok || id != 7 {
+		t.Fatalf("lookup after replay = %d, %v", id, ok)
+	}
+	// The counter advanced past the forced ID, so fresh registrations
+	// cannot collide with replayed ones.
+	if id, created := r.Register("fresh"); !created || id != 8 {
+		t.Fatalf("post-replay Register = %d, %v; want 8, true", id, created)
+	}
+}
+
+func TestRegisterIDConflicts(t *testing.T) {
+	r := New()
+	if err := r.RegisterID("u", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different forced ID: a corrupted or foreign WAL.
+	if err := r.RegisterID("u", 4); err == nil {
+		t.Fatal("name rebound to a different ID should fail")
+	}
+	// Same ID, different name.
+	if err := r.RegisterID("v", 3); err == nil {
+		t.Fatal("ID rebound to a different name should fail")
+	}
+	// Negative IDs never come from a valid WAL.
+	if err := r.RegisterID("w", -1); err == nil {
+		t.Fatal("negative ID should fail")
+	}
+	// Failed registrations must leave no trace.
+	if _, ok := r.Lookup("v"); ok {
+		t.Fatal("failed RegisterID leaked a name binding")
+	}
+	if _, ok := r.Lookup("w"); ok {
+		t.Fatal("failed RegisterID leaked a negative-ID binding")
+	}
+	if id, ok := r.Lookup("u"); !ok || id != 3 {
+		t.Fatalf("original binding disturbed: %d, %v", id, ok)
+	}
+}
+
+func TestRegisterIDAfterOrganicRegistration(t *testing.T) {
+	// A name first registered organically (auto-assigned ID) then
+	// replayed with a mismatched forced ID must be rejected — silently
+	// remapping would detach the model's factor rows from their keys.
+	r := New()
+	id, _ := r.Register("organic")
+	if err := r.RegisterID("organic", id); err != nil {
+		t.Fatalf("matching forced ID: %v", err)
+	}
+	if err := r.RegisterID("organic", id+100); err == nil {
+		t.Fatal("mismatched forced ID should fail")
+	}
+	// Forcing an ID below the counter must not rewind it.
+	r2 := New()
+	r2.Register("a") // ID 0
+	r2.Register("b") // ID 1
+	if err := r2.RegisterID("replayed", 0); err == nil {
+		t.Fatal("forcing an ID bound to another name should fail")
+	}
+	if id, created := r2.Register("c"); !created || id != 2 {
+		t.Fatalf("counter disturbed by failed RegisterID: %d, %v", id, created)
+	}
+}

@@ -47,14 +47,44 @@ func (s *Server) AttachDurable(m *store.Manager) (store.RecoveryStats, error) {
 	if s.durable != nil {
 		return store.RecoveryStats{}, errors.New("server: durable store already attached")
 	}
+	apply, flush := s.walApplier()
+	rs, err := m.Recover(s.LoadState, apply)
+	if err != nil {
+		return rs, err
+	}
+	flush()
+
+	s.durable = m
+	s.eng.SetJournal(m.WAL())
+	s.registerDurableMetrics(m)
+	m.Start(s.captureState)
+	s.log.Info("durable state attached",
+		"dir", m.Dir(),
+		"checkpoint", rs.HaveCheckpoint, "checkpoint_seq", rs.CheckpointSeq,
+		"replayed_entries", rs.Entries, "replayed_samples", rs.Samples,
+		"replayed_registrations", rs.Registrations, "replayed_removals", rs.Removals)
+	return rs, nil
+}
+
+// walApplier returns a pair of functions that feed WAL entries through
+// the normal serving pipeline: registrations rebuild the name⇄ID
+// directories, sample batches re-train the model (chunked, so memory
+// stays flat on long tails while amortizing the engine's
+// publish-per-ObserveAll), removals purge churned entities. It is the
+// shared apply path under crash recovery (AttachDurable) and follower
+// replication (Replicator.tail) — both are "replay someone's log into
+// this server", they just differ in where the records come from.
+// Callers must invoke flush after the final entry; apply itself flushes
+// before removals so samples for a purged ID train first.
+func (s *Server) walApplier() (apply func(store.Entry) error, flush func()) {
 	var buf []stream.Sample
-	flush := func() {
+	flush = func() {
 		if len(buf) > 0 {
 			s.eng.ObserveAll(buf)
 			buf = buf[:0]
 		}
 	}
-	rs, err := m.Recover(s.LoadState, func(e store.Entry) error {
+	apply = func(e store.Entry) error {
 		switch e.Kind {
 		case store.EntrySamples:
 			buf = append(buf, e.Samples...)
@@ -81,22 +111,8 @@ func (s *Server) AttachDurable(m *store.Manager) (store.RecoveryStats, error) {
 			return fmt.Errorf("server: unknown wal entry kind %d", e.Kind)
 		}
 		return nil
-	})
-	if err != nil {
-		return rs, err
 	}
-	flush()
-
-	s.durable = m
-	s.eng.SetJournal(m.WAL())
-	s.registerDurableMetrics(m)
-	m.Start(s.captureState)
-	s.log.Info("durable state attached",
-		"dir", m.Dir(),
-		"checkpoint", rs.HaveCheckpoint, "checkpoint_seq", rs.CheckpointSeq,
-		"replayed_entries", rs.Entries, "replayed_samples", rs.Samples,
-		"replayed_registrations", rs.Registrations, "replayed_removals", rs.Removals)
-	return rs, nil
+	return apply, flush
 }
 
 // Durable returns the attached store manager, or nil.
@@ -176,6 +192,9 @@ func (s *Server) durableRoutes() {
 // handleCheckpoint forces a checkpoint now — the operational lever for
 // "about to deploy, bound my replay window to zero".
 func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	if s.durable == nil {
 		s.countError(w, http.StatusNotImplemented, "no durable store attached")
 		return

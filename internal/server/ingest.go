@@ -15,6 +15,9 @@ import (
 // rather than immediate. If the queue rejects the sample (engine
 // closed), it is applied inline so no accepted observation is lost.
 func (s *Server) Ingest(user, service string, value float64, timestampMs int64) error {
+	if s.follower.Load() {
+		return fmt.Errorf("server: follower: writes must go to the leader")
+	}
 	if user == "" || service == "" {
 		return fmt.Errorf("server: user and service are required")
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,6 +74,19 @@ type Server struct {
 	instrument    bool
 	reqSeq        atomic.Uint64
 	closed        atomic.Bool
+
+	// Cluster role (see replication.go): follower marks a replica that
+	// tails a leader's WAL and rejects direct writes; repl is its tailer.
+	// Both are set by StartFollower before serving traffic and flipped by
+	// Promote on failover. replStreams tracks in-flight leader-side
+	// replication streams so shutdown can drain them before the final
+	// checkpoint.
+	follower    atomic.Bool
+	repl        *Replicator
+	promoteMu   sync.Mutex
+	replStreams sync.WaitGroup
+	replActive  atomic.Int64
+	replErrors  atomic.Int64
 }
 
 // Option customizes a Server at construction time.
@@ -166,6 +180,9 @@ func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		s.log.Info("server closing", "component", "server")
 	}
+	if rp := s.repl; rp != nil {
+		rp.Stop()
+	}
 	s.eng.Close()
 }
 
@@ -190,6 +207,7 @@ func (s *Server) routes() {
 	s.handle("DELETE /api/v1/services", s.handleDeleteService)
 	s.stateRoutes()
 	s.durableRoutes()
+	s.replicationRoutes()
 	s.historyRoutes()
 	s.metricsRoutes()
 	s.flaggedRoutes()
@@ -269,6 +287,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req ObserveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.countError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -450,6 +471,9 @@ func (s *Server) handleDeleteService(w http.ResponseWriter, r *http.Request) {
 // handleDelete implements churn departure: the entity leaves the registry
 // and its model state is purged.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, reg *registry.Registry, purge func(int)) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		s.countError(w, http.StatusBadRequest, "name query parameter is required")

@@ -134,6 +134,9 @@ func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // handlePostSnapshot restores the service from an uploaded state.
 func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
 		s.countError(w, http.StatusBadRequest, "read snapshot: %v", err)

@@ -563,48 +563,16 @@ func (w *WAL) TruncateThrough(seq uint64) error {
 // delivered record must be from+1 and each subsequent one must follow
 // directly — a gap means acked data was lost and recovery must not
 // pretend otherwise. Replay must not run concurrently with appends; the
-// recovery path calls it before the engine starts journaling.
+// recovery path calls it before the engine starts journaling. (The
+// segment traversal itself is shared with StreamSince — see replicate.go.)
 func (w *WAL) Replay(from uint64, fn func(Entry) error) error {
-	// Make sure everything buffered is visible to the file reads below.
-	if err := w.Sync(); err != nil {
-		return err
-	}
-	w.mu.Lock()
-	segs := make([]walSegment, len(w.segments))
-	copy(segs, w.segments)
-	w.mu.Unlock()
-
-	next := from + 1
-	for i, seg := range segs {
-		if i+1 < len(segs) && segs[i+1].first <= next {
-			continue // wholly below the replay point
-		}
-		last := i == len(segs)-1
-		_, _, torn, err := scanSegmentFile(filepath.Join(w.dir, seg.name), seg.first, func(seq uint64, payload []byte) error {
-			if seq <= from {
-				return nil
-			}
-			if seq != next {
-				return fmt.Errorf("store: wal gap: expected seq %d, found %d in %s", next, seq, seg.name)
-			}
-			e, err := DecodeEntry(seq, payload)
-			if err != nil {
-				return fmt.Errorf("store: wal seq %d: %w", seq, err)
-			}
-			if err := fn(e); err != nil {
-				return err
-			}
-			next = seq + 1
-			return nil
-		})
+	return w.replayRaw(from, func(seq uint64, payload []byte) error {
+		e, err := DecodeEntry(seq, payload)
 		if err != nil {
-			return err
+			return fmt.Errorf("store: wal seq %d: %w", seq, err)
 		}
-		if torn > 0 && !last {
-			return fmt.Errorf("store: wal corruption inside %s (%d bytes unreadable mid-log)", seg.name, torn)
-		}
-	}
-	return nil
+		return fn(e)
+	})
 }
 
 // LastSeq returns the sequence number of the most recent append.
