@@ -37,8 +37,10 @@ type Client struct {
 	// 502/503 (reads are idempotent, and a gateway mid-failover answers
 	// 502/503 until the new leader is promoted); non-GET requests are
 	// retried only on 503 — the service rejected the request before
-	// applying it (follower redirect, shutdown drain) — and never on
-	// transport errors, where the write's outcome is unknown.
+	// applying it (follower redirect, shutdown drain; the gateway
+	// upholds this by answering a non-retryable 500 when a sharded
+	// batch was PARTIALLY applied) — and never on transport errors,
+	// where the write's outcome is unknown.
 	Retries int
 	// RetryBackoff is the pause between attempts (default 100ms).
 	RetryBackoff time.Duration

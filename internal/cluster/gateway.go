@@ -64,6 +64,8 @@ type replica struct {
 	role       atomic.Int32 // 1 = leader (as of the last probe)
 	appliedSeq atomic.Uint64
 	walSeq     atomic.Uint64
+	epoch      atomic.Uint64 // durable directory claim epoch (0 = non-durable)
+	fenced     atomic.Bool   // lost its directory claim; never promotable
 }
 
 func (rep *replica) Health() Health { return Health(rep.health.Load()) }
@@ -95,6 +97,7 @@ type Gateway struct {
 	proxyErrors  *obs.Counter
 	fanouts      *obs.Counter
 	failovers    *obs.Counter
+	demotions    *obs.Counter
 	probeFails   *obs.Counter
 
 	stop chan struct{}
@@ -213,6 +216,8 @@ func (g *Gateway) buildMetrics() {
 		"Rank/batch requests split across a group's replicas.")
 	g.failovers = r.NewCounter("amf_cluster_failovers_total",
 		"Leader promotions driven by the gateway.")
+	g.demotions = r.NewCounter("amf_cluster_demotions_total",
+		"Stale leaders demoted by the gateway (ex-leaders that recovered after a failover).")
 	g.probeFails = r.NewCounter("amf_cluster_probe_failures_total",
 		"Health probes that failed.")
 	r.GaugeFunc("amf_cluster_groups", "Configured shard groups.",
@@ -394,54 +399,69 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 
 // userFromJSON extracts the top-level "user" field from a request body
 // without materializing the rest (candidate lists run to thousands of
-// strings). Clients marshal the user field first, so the scan normally
-// stops after three tokens.
+// strings). The scan runs to the end of the top-level object on
+// purpose: encoding/json keeps the LAST duplicate key, and both the
+// backend and the gateway's own fan-out path decode the body with
+// encoding/json — stopping at the first "user" would route by a
+// different user than the one the request is served for, silently
+// crossing shard groups. A non-string "user" value returns ok=false;
+// the callers then fall through to a full decode for a precise 400.
 func userFromJSON(raw []byte) (string, bool) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	t, err := dec.Token()
 	if err != nil || t != json.Delim('{') {
 		return "", false
 	}
+	var user string
+	found := false
 	for dec.More() {
 		key, err := dec.Token()
 		if err != nil {
 			return "", false
 		}
+		val, err := dec.Token()
+		if err != nil {
+			return "", false
+		}
 		if key == "user" {
-			val, err := dec.Token()
-			if err != nil {
+			s, ok := val.(string)
+			if !ok {
 				return "", false
 			}
-			s, ok := val.(string)
-			return s, ok
+			user, found = s, true
+			continue
 		}
-		if err := skipValue(dec); err != nil {
+		if err := finishValue(dec, val); err != nil {
 			return "", false
 		}
 	}
-	return "", false
+	return user, found
 }
 
-// skipValue consumes one JSON value (scalar, array, or object) from dec.
-func skipValue(dec *json.Decoder) error {
-	depth := 0
-	for {
+// finishValue consumes the remainder of one JSON value whose first
+// token is t: scalars are already complete, containers are drained to
+// their closing delimiter.
+func finishValue(dec *json.Decoder, t json.Token) error {
+	d, ok := t.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
 		t, err := dec.Token()
 		if err != nil {
 			return err
 		}
-		if d, ok := t.(json.Delim); ok {
-			switch d {
+		if dd, ok := t.(json.Delim); ok {
+			switch dd {
 			case '{', '[':
 				depth++
 			case '}', ']':
 				depth--
 			}
 		}
-		if depth == 0 {
-			return nil
-		}
 	}
+	return nil
 }
 
 // backendError carries a backend's HTTP status through the merge so the
@@ -495,6 +515,8 @@ type ReplicaStatus struct {
 	Role       string `json:"role"`
 	WALSeq     uint64 `json:"wal_seq,omitempty"`
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+	Fenced     bool   `json:"fenced,omitempty"`
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -515,6 +537,7 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			gs.Replicas = append(gs.Replicas, ReplicaStatus{
 				URL: rep.url, Health: rep.Health().String(), Role: role,
 				WALSeq: rep.walSeq.Load(), AppliedSeq: rep.appliedSeq.Load(),
+				Epoch: rep.epoch.Load(), Fenced: rep.fenced.Load(),
 			})
 		}
 		out.Groups = append(out.Groups, gs)
@@ -523,10 +546,13 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleObserve splits an observation batch by user shard and forwards
-// each bucket to its group leader concurrently. Partial failure returns
-// the first error's status after all buckets settle — observations in
-// the buckets that succeeded ARE applied (the observe API is
-// append-only and idempotent in effect, so client retries are safe).
+// each bucket to its group leader concurrently. Observations are SGD
+// training steps, not idempotent upserts, so the failure status is
+// chosen by what was applied: if NO bucket succeeded the backend's
+// status passes through (a 503 invites a retry, which is safe — nothing
+// trained), but once ANY bucket succeeded a retryable status would
+// double-train the successful buckets on resend, so partial failure is
+// reported as a non-retryable 500.
 func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
 	if err != nil {
@@ -561,6 +587,7 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 		mu       sync.Mutex
 		merged   server.ObserveResponse
 		firstErr error
+		okGroups int
 		wg       sync.WaitGroup
 	)
 	for grp, obsBatch := range buckets {
@@ -578,6 +605,7 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
+			okGroups++
 			merged.Accepted += resp.Accepted
 			merged.NewUsers += resp.NewUsers
 			merged.NewServices += resp.NewServices
@@ -585,7 +613,17 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if firstErr != nil {
-		g.writeError(w, relayStatus(firstErr), "observe: %v", firstErr)
+		if okGroups == 0 {
+			// Nothing was applied anywhere: relay the backend's status
+			// verbatim — retrying the whole batch is safe.
+			g.writeError(w, relayStatus(firstErr), "observe: %v", firstErr)
+			return
+		}
+		// Partial application: some groups trained their models, some did
+		// not. Never relay a retryable status here (see handler comment).
+		g.writeError(w, http.StatusInternalServerError,
+			"observe: partially applied (%d observations accepted, %d of %d groups); not retryable: %v",
+			merged.Accepted, okGroups, len(buckets), firstErr)
 		return
 	}
 	g.writeJSON(w, http.StatusOK, merged)
@@ -861,7 +899,11 @@ func (g *Gateway) probe(rep *replica) {
 	}
 	rep.fails.Store(0)
 	rep.health.Store(int32(Healthy))
-	if st.Role == "leader" {
+	rep.epoch.Store(st.Epoch)
+	rep.fenced.Store(st.Fenced)
+	// A fenced server lost its durable-directory claim: whatever role it
+	// reports, it cannot accept writes, so never treat it as a leader.
+	if st.Role == "leader" && !st.Fenced {
 		rep.role.Store(1)
 		rep.walSeq.Store(st.WALSeq)
 	} else {
@@ -873,20 +915,39 @@ func (g *Gateway) probe(rep *replica) {
 // settleGroup folds replica states into group-level routing decisions:
 // the leader pointer, the ring member's health, and — when failover is
 // enabled — promotion of the best follower after the leader has been
-// gone DownAfter consecutive rounds.
+// gone DownAfter consecutive rounds. When more than one healthy replica
+// claims leadership (an ex-leader recovered after the gateway promoted
+// around it), the claim epoch breaks the tie — and the losers are
+// actively demoted, not just routed around (see demoteStale).
 func (g *Gateway) settleGroup(grp *group) {
-	var leader *replica
+	var claimants []*replica
 	best := Down
 	for _, rep := range grp.replicas {
 		if h := rep.Health(); h < best {
 			best = h
 		}
 		if rep.role.Load() == 1 && rep.Health() == Healthy {
-			leader = rep
+			claimants = append(claimants, rep)
 		}
 	}
 	grp.member.SetHealth(best)
-	if leader != nil {
+	if len(claimants) > 0 {
+		// Highest epoch claimed the durable directory most recently: by
+		// construction that is the failover winner, and the promoted
+		// replica recovered the group's full durable state. On epoch
+		// ties (non-durable groups report 0) keep the current pointer
+		// rather than flapping between claimants.
+		leader := claimants[0]
+		cur := grp.leader.Load()
+		for _, rep := range claimants[1:] {
+			e, le := rep.epoch.Load(), leader.epoch.Load()
+			if e > le || (e == le && rep == cur) {
+				leader = rep
+			}
+		}
+		if len(claimants) > 1 {
+			g.demoteStale(grp, claimants, leader)
+		}
 		grp.leader.Store(leader)
 		grp.noLeader = 0
 		return
@@ -898,6 +959,41 @@ func (g *Gateway) settleGroup(grp *group) {
 	g.failover(grp)
 }
 
+// demoteStale resolves an observed split brain: a leadership claimant
+// whose epoch is strictly below the winner's is an ex-leader that
+// recovered after a failover promoted a different replica over the
+// same durable directory. Routing around it is not enough —
+// writeTarget scans by role, so a later probe round could steer acked
+// writes onto its diverged WAL lineage, where no replica and no future
+// recovery would ever see them. The gateway therefore demotes stale
+// claimants explicitly: the server flips to follower, fences its
+// store, and answers writes with 503 + the real leader. Epoch TIES are
+// left alone — without durable-claim evidence (non-durable replicas
+// all report 0) demotion would be arbitrary and could take down the
+// legitimate leader.
+func (g *Gateway) demoteStale(grp *group, claimants []*replica, winner *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, rep := range claimants {
+		if rep == winner || rep.epoch.Load() >= winner.epoch.Load() {
+			continue
+		}
+		if err := g.postJSON(ctx, rep.url+"/api/v1/demote",
+			map[string]string{"leader": winner.url}, nil); err != nil {
+			// The stale claimant stays routed-around (the winner holds the
+			// leader pointer); the next probe round retries the demotion.
+			g.log.Warn("demoting stale leader failed",
+				"group", grp.name, "stale", rep.url, "err", err)
+			continue
+		}
+		rep.role.Store(0)
+		g.demotions.Inc()
+		g.log.Warn("demoted stale leader",
+			"group", grp.name, "stale", rep.url, "stale_epoch", rep.epoch.Load(),
+			"leader", winner.url, "leader_epoch", winner.epoch.Load())
+	}
+}
+
 // failover promotes the healthiest follower — the one with the highest
 // applied sequence, so the least replicated work is lost — and points
 // the surviving followers at it.
@@ -905,6 +1001,12 @@ func (g *Gateway) failover(grp *group) {
 	var candidate *replica
 	for _, rep := range grp.replicas {
 		if rep.Health() != Healthy || rep.role.Load() == 1 {
+			continue
+		}
+		// A fenced replica is a demoted ex-leader that lost the durable
+		// directory to a newer claimant; promoting it would re-grab the
+		// lock over the legitimate owner's head, round after round.
+		if rep.fenced.Load() {
 			continue
 		}
 		if candidate == nil || rep.appliedSeq.Load() > candidate.appliedSeq.Load() {

@@ -448,6 +448,170 @@ func followerHas(t *testing.T, url, user, service string) (float64, bool) {
 	return pr.Value, true
 }
 
+// TestUserFromJSONDuplicateKeys pins the routing scan to encoding/json
+// semantics: the LAST duplicate "user" key wins, because that is the
+// user the backend (and the gateway's own fan-out path) will decode and
+// serve.
+func TestUserFromJSONDuplicateKeys(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string
+		ok   bool
+	}{
+		{`{"user":"a","services":["x","y"]}`, "a", true},
+		{`{"services":["x"],"user":"late"}`, "late", true},
+		{`{"user":"a","user":"b"}`, "b", true},
+		{`{"user":"a","nested":{"user":"inner"},"user":"c","tail":[1,2]}`, "c", true},
+		{`{"user":5}`, "", false},
+		{`{"user":"a","user":5}`, "", false},
+		{`{"services":["x"]}`, "", false},
+		{`["user","a"]`, "", false},
+	}
+	for _, tc := range cases {
+		got, ok := userFromJSON([]byte(tc.raw))
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("userFromJSON(%s) = (%q, %v), want (%q, %v)", tc.raw, got, ok, tc.want, tc.ok)
+		}
+		// Whenever the scan routes, it must agree with a full decode.
+		if ok {
+			var req server.BatchPredictRequest
+			if err := json.Unmarshal([]byte(tc.raw), &req); err == nil && req.User != got {
+				t.Errorf("scan routes %s by %q but encoding/json decodes user %q", tc.raw, got, req.User)
+			}
+		}
+	}
+}
+
+// TestGatewayObservePartialFailure: once any bucket of a sharded batch
+// has been applied, the gateway must NOT relay a retryable status — a
+// client resending the whole batch would re-train the groups that
+// already accepted their buckets. Total failure still relays the
+// backend status (nothing applied, retry is safe).
+func TestGatewayObservePartialFailure(t *testing.T) {
+	_, tsOK := backend(t)
+	svcBad, tsBad := backend(t)
+	svcBad.Demote("") // every write on this shard now 503s
+	g := newGateway(t, [][]string{{tsOK.URL}, {tsBad.URL}}, nil)
+
+	// Find one user routed to each shard.
+	var uOK, uBad string
+	for i := 0; uOK == "" || uBad == ""; i++ {
+		u := fmt.Sprintf("user-%d", i)
+		if g.groupFor(u).name == "shard-0" {
+			if uOK == "" {
+				uOK = u
+			}
+		} else if uBad == "" {
+			uBad = u
+		}
+	}
+
+	w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{Observations: []server.Observation{
+		{User: uOK, Service: "s", Value: 1},
+		{User: uBad, Service: "s", Value: 1},
+	}})
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("partial observe: HTTP %d, want 500 (non-retryable), body %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "partially applied") {
+		t.Errorf("partial observe body lacks explanation: %s", w.Body.String())
+	}
+
+	// All buckets failing is a clean failure: the 503 passes through and
+	// the client may retry the whole batch.
+	w = gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{Observations: []server.Observation{
+		{User: uBad, Service: "s", Value: 1},
+	}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("total observe failure: HTTP %d, want 503", w.Code)
+	}
+}
+
+// TestGatewayDemotesStaleLeader: two healthy replicas of one group both
+// claim leadership (an ex-leader recovered after a failover). The claim
+// epoch identifies the stale one, and the gateway actively demotes it
+// instead of letting writeTarget flip-flop between diverged lineages.
+func TestGatewayDemotesStaleLeader(t *testing.T) {
+	// Stale ex-leader: first claim of its directory, epoch 1.
+	svcStale, mgrStale, _ := durableBackend(t, t.TempDir())
+	tsStale := httptest.NewServer(svcStale.Handler())
+	t.Cleanup(tsStale.Close)
+	t.Cleanup(func() { svcStale.Close(); mgrStale.Close() })
+
+	// Failover winner: its directory has been claimed twice (the dead
+	// leader's Open, then the promotion's), so it probes at epoch 2.
+	dirNew := t.TempDir()
+	pre, err := store.Open(dirNew, store.Options{CheckpointInterval: time.Hour, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre.Close()
+	svcNew, mgrNew, _ := durableBackend(t, dirNew)
+	tsNew := httptest.NewServer(svcNew.Handler())
+	t.Cleanup(tsNew.Close)
+	t.Cleanup(func() { svcNew.Close(); mgrNew.Close() })
+
+	// New's seeding probe round sees both claiming leader and settles the
+	// split brain immediately.
+	g := newGateway(t, [][]string{{tsStale.URL, tsNew.URL}}, func(c *Config) {
+		c.Failover = true
+		c.DownAfter = 2
+	})
+
+	if v := metricValue(t, g, "amf_cluster_demotions_total"); v != 1 {
+		t.Fatalf("amf_cluster_demotions_total = %g, want 1", v)
+	}
+	lead := g.groups[0].leader.Load()
+	if lead == nil || lead.url != tsNew.URL {
+		t.Fatalf("leader pointer = %+v, want the higher-epoch claimant %s", lead, tsNew.URL)
+	}
+	if !mgrStale.Fenced() {
+		t.Error("stale leader's store was not fenced by the demotion")
+	}
+	// The stale replica now rejects writes and points at the winner.
+	resp, err := http.Post(tsStale.URL+"/api/v1/observe", "application/json",
+		strings.NewReader(`{"observations":[{"user":"u","service":"s","value":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write on demoted stale leader: HTTP %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Amf-Leader"); got != tsNew.URL {
+		t.Errorf("X-Amf-Leader = %q, want %q", got, tsNew.URL)
+	}
+	// Writes through the gateway land on the winner.
+	w := gwReq(t, g, http.MethodPost, "/api/v1/observe", server.ObserveRequest{
+		Observations: []server.Observation{{User: "u", Service: "s", Value: 1}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("gateway write after demotion: HTTP %d %s", w.Code, w.Body.String())
+	}
+	// A later probe round is stable: no second demotion, same leader.
+	g.probeAll()
+	if v := metricValue(t, g, "amf_cluster_demotions_total"); v != 1 {
+		t.Errorf("demotions after settle = %g, want still 1", v)
+	}
+
+	// Kill the winner: the group is leaderless, but the fenced ex-leader
+	// must NOT be promoted — doing so would re-claim the durable
+	// directory over the (possibly partitioned, still legitimate)
+	// owner's head, epoch after epoch. The group stays degraded instead.
+	tsNew.Close()
+	svcNew.Close()
+	mgrNew.Close()
+	for i := 0; i < 6; i++ {
+		g.probeAll()
+	}
+	if v := metricValue(t, g, "amf_cluster_failovers_total"); v != 0 {
+		t.Errorf("amf_cluster_failovers_total = %g, want 0 (fenced replica promoted)", v)
+	}
+	if !mgrStale.Fenced() {
+		t.Error("stale replica's store unfenced after failover rounds")
+	}
+}
+
 func TestGatewayRejectsBadRequests(t *testing.T) {
 	_, ts := backend(t)
 	g := newGateway(t, [][]string{{ts.URL}}, nil)

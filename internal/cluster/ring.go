@@ -25,8 +25,11 @@ const (
 	// down threshold; they still receive traffic (one failed probe is
 	// usually a blip, and draining on it would flap the ring).
 	Suspect
-	// Down members are skipped: lookups walk clockwise to the next
-	// member that is not Down.
+	// Down members failed DownAfter consecutive probes. Ownership is
+	// NOT affected: members shard authoritative storage, so a key's
+	// owner stays its owner while Down — requests fail loudly instead
+	// of silently landing (and stranding data) on a different member.
+	// Health feeds the gateway's /healthz, status, and failover logic.
 	Down
 )
 
@@ -42,7 +45,8 @@ func (h Health) String() string {
 }
 
 // Member is one ring participant (a shard group, in the gateway's use).
-// Health is updated concurrently by probes and read by lookups.
+// Health is updated concurrently by probes and read by health/status
+// reporting; it does not affect key ownership.
 type Member struct {
 	name   string
 	health atomic.Int32
@@ -164,10 +168,13 @@ func (r *Ring) Len() int {
 }
 
 // Lookup returns the member owning key: the first member clockwise from
-// the key's hash whose health is not Down. When every member is Down it
-// returns the natural owner (routing somewhere beats routing nowhere —
-// the request then fails with an honest connection error). Returns nil
-// only for an empty ring.
+// the key's hash, regardless of health. Members shard authoritative
+// storage — only the natural owner holds the key's data — so a Down
+// owner still gets the route and the request fails with an honest
+// error the client can retry, instead of writes silently landing on
+// (and being stranded in) a different member's store, or reads
+// answering from a member that never saw the key. Returns nil only for
+// an empty ring.
 func (r *Ring) Lookup(key string) *Member {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -180,21 +187,7 @@ func (r *Ring) Lookup(key string) *Member {
 	if start == len(r.hashes) {
 		start = 0
 	}
-	natural := r.owners[start]
-	// Skip Down members; distinct owners only (consecutive vnodes often
-	// repeat an owner).
-	seen := make(map[*Member]bool, len(r.members))
-	for i := 0; i < len(r.owners); i++ {
-		m := r.owners[(start+i)%len(r.owners)]
-		if seen[m] {
-			continue
-		}
-		seen[m] = true
-		if m.Health() != Down {
-			return m
-		}
-	}
-	return natural
+	return r.owners[start]
 }
 
 // hash64 is FNV-1a, the stdlib's stable non-cryptographic hash — the

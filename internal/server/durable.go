@@ -56,6 +56,10 @@ func (s *Server) AttachDurable(m *store.Manager) (store.RecoveryStats, error) {
 
 	s.durable = m
 	s.eng.SetJournal(m.WAL())
+	// If another process claims the data directory out from under us (a
+	// failover promoted a replica while we were partitioned, see store
+	// fencing), step down instead of acking writes onto a dead lineage.
+	m.SetOnFence(func() { s.Demote("") })
 	s.registerDurableMetrics(m)
 	m.Start(s.captureState)
 	s.log.Info("durable state attached",

@@ -68,6 +68,14 @@ type ClusterStatusResponse struct {
 	Streams int64 `json:"replication_streams"`
 	// Durable reports whether a durable store is attached.
 	Durable bool `json:"durable"`
+	// Epoch is the durable directory's claim epoch (see store fencing):
+	// of two servers both claiming leadership over the same directory,
+	// the HIGHER epoch opened it more recently and is the survivor. The
+	// gateway uses this to demote stale ex-leaders after a failover.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fenced reports that this server's durable store lost the directory
+	// claim — it no longer accepts writes regardless of role.
+	Fenced bool `json:"fenced,omitempty"`
 }
 
 // replicationRoutes registers the cluster control plane; called from
@@ -76,6 +84,7 @@ func (s *Server) replicationRoutes() {
 	s.handle("GET /api/v1/replicate/wal", s.handleReplicateWAL)
 	s.handle("GET /api/v1/cluster/status", s.handleClusterStatus)
 	s.handle("POST /api/v1/promote", s.handlePromote)
+	s.handle("POST /api/v1/demote", s.handleDemote)
 	s.handle("POST /api/v1/cluster/leader", s.handleSetLeader)
 }
 
@@ -88,7 +97,10 @@ func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
 	if !s.follower.Load() {
 		return false
 	}
-	if rp := s.repl; rp != nil {
+	// A demoted ex-leader has no tailer; the gateway told us who won.
+	if l, _ := s.demotedTo.Load().(string); l != "" {
+		w.Header().Set("X-Amf-Leader", l)
+	} else if rp := s.repl; rp != nil {
 		if l := rp.Leader(); l != "" {
 			w.Header().Set("X-Amf-Leader", l)
 		}
@@ -195,6 +207,8 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
 	resp := ClusterStatusResponse{Role: "leader", Durable: s.durable != nil, Streams: s.replActive.Load()}
 	if s.durable != nil {
 		resp.WALSeq = s.durable.WAL().LastSeq()
+		resp.Epoch = s.durable.Epoch()
+		resp.Fenced = s.durable.Fenced()
 	}
 	if s.follower.Load() {
 		resp.Role = "follower"
@@ -285,9 +299,13 @@ type Replicator struct {
 
 	etag string // snapshot validator from the last bootstrap (tail goroutine only)
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// Lifecycle: lifeMu guards stop/stopped so the tail loop can be
+	// relaunched after Stop — the failed-promotion recovery path. Each
+	// relaunch gets a fresh stop channel.
+	lifeMu  sync.Mutex
+	stop    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
 }
 
 // StartFollower puts the server in follower mode: it bootstraps state
@@ -328,7 +346,7 @@ func (s *Server) StartFollower(cfg FollowerConfig) (*Replicator, error) {
 	s.follower.Store(true)
 	rp.registerMetrics()
 	rp.wg.Add(1)
-	go rp.tail()
+	go rp.tail(rp.stop)
 	s.log.Info("follower started",
 		"leader", rp.Leader(), "bootstrap_seq", rp.seq.Load())
 	return rp, nil
@@ -359,8 +377,28 @@ func (rp *Replicator) Lag() time.Duration {
 // Stop halts the tail loop and waits for it to exit. Idempotent; called
 // by Promote and by Server.Close.
 func (rp *Replicator) Stop() {
-	rp.stopOnce.Do(func() { close(rp.stop) })
+	rp.lifeMu.Lock()
+	if !rp.stopped {
+		rp.stopped = true
+		close(rp.stop)
+	}
+	rp.lifeMu.Unlock()
 	rp.wg.Wait()
+}
+
+// restart relaunches the tail loop after Stop — the failed-promotion
+// recovery path. No-op while the tailer is still running, or once the
+// server itself is closing.
+func (rp *Replicator) restart() {
+	rp.lifeMu.Lock()
+	defer rp.lifeMu.Unlock()
+	if !rp.stopped || rp.s.closed.Load() {
+		return
+	}
+	rp.stopped = false
+	rp.stop = make(chan struct{})
+	rp.wg.Add(1)
+	go rp.tail(rp.stop)
 }
 
 func (rp *Replicator) registerMetrics() {
@@ -452,11 +490,11 @@ func (rp *Replicator) bootstrap(ctx context.Context) error {
 // sequence, verify and apply them, update lag. On a sequence gap at the
 // stream head (the leader checkpointed and truncated past our position)
 // it re-bootstraps from the snapshot.
-func (rp *Replicator) tail() {
+func (rp *Replicator) tail(stop <-chan struct{}) {
 	defer rp.wg.Done()
 	for {
 		select {
-		case <-rp.stop:
+		case <-stop:
 			return
 		default:
 		}
@@ -464,7 +502,7 @@ func (rp *Replicator) tail() {
 			rp.errs.Add(1)
 			rp.s.log.Warn("replication poll failed", "leader", rp.Leader(), "from", rp.seq.Load(), "err", err)
 			select {
-			case <-rp.stop:
+			case <-stop:
 				return
 			case <-time.After(rp.cfg.RetryInterval):
 			}
@@ -586,6 +624,19 @@ func (s *Server) Promote() (store.RecoveryStats, error) {
 	if !s.follower.Load() {
 		return rs, errors.New("not a follower")
 	}
+	// A follower that still holds a durable store is a demoted ex-leader
+	// (StartFollower forbids the combination). It can NEVER be promoted
+	// in place: its in-memory model carries acked writes from the
+	// diverged lineage, and re-opening the shared directory here would
+	// bump the claim epoch and fence the legitimate owner — a gateway
+	// retrying failover against it would grab the lock in a loop. The
+	// only way back is a restart with -role follower.
+	if m := s.durable; m != nil {
+		if m.Fenced() {
+			return rs, errors.New("demoted ex-leader (durable store fenced): restart with -role follower to rejoin")
+		}
+		return rs, errors.New("durable store already attached")
+	}
 	rp := s.repl
 	if rp != nil {
 		rp.Stop()
@@ -593,6 +644,10 @@ func (s *Server) Promote() (store.RecoveryStats, error) {
 	if rp != nil && rp.cfg.LeaderData != "" {
 		m, err := store.Open(rp.cfg.LeaderData, rp.cfg.StoreOptions)
 		if err != nil {
+			// Local state is untouched — resume tailing so the replica
+			// keeps replicating instead of sitting as a stopped,
+			// write-rejecting follower that looks healthy.
+			s.resumeFollower(rp, false)
 			return rs, fmt.Errorf("open leader data: %w", err)
 		}
 		// Start recovery from a clean slate. A checkpoint restore replaces
@@ -604,10 +659,12 @@ func (s *Server) Promote() (store.RecoveryStats, error) {
 		blank, err := core.MustNew(s.eng.View().Config()).Snapshot()
 		if err != nil {
 			m.Close()
+			s.resumeFollower(rp, false)
 			return rs, fmt.Errorf("reset state: %w", err)
 		}
 		if err := s.eng.Restore(blank); err != nil {
 			m.Close()
+			s.resumeFollower(rp, true)
 			return rs, fmt.Errorf("reset state: %w", err)
 		}
 		s.users = registry.New()
@@ -615,6 +672,7 @@ func (s *Server) Promote() (store.RecoveryStats, error) {
 		rs, err = s.AttachDurable(m)
 		if err != nil {
 			m.Close()
+			s.resumeFollower(rp, true)
 			return rs, fmt.Errorf("recover leader data: %w", err)
 		}
 	}
@@ -623,4 +681,66 @@ func (s *Server) Promote() (store.RecoveryStats, error) {
 		"durable", s.durable != nil,
 		"checkpoint_seq", rs.CheckpointSeq, "replayed_entries", rs.Entries)
 	return rs, nil
+}
+
+// resumeFollower restarts the tail loop after a failed promotion so the
+// replica keeps replicating (and keeps its shot at a later promotion)
+// instead of being left dead-but-green: still reporting role=follower
+// and healthy, but never applying another record. When the failed
+// attempt already wiped local state (wiped=true), the applied position
+// and snapshot validator reset too — the next successful poll then sees
+// a sequence gap and re-bootstraps wholesale from the leader's
+// snapshot, which rebuilds consistent state from scratch. (rp.etag is
+// safe to touch here: the tail goroutine is stopped.)
+func (s *Server) resumeFollower(rp *Replicator, wiped bool) {
+	if wiped {
+		rp.seq.Store(0)
+		rp.etag = ""
+	}
+	rp.restart()
+	s.log.Warn("promotion failed; resumed follower tailing",
+		"leader", rp.Leader(), "state_wiped", wiped)
+}
+
+// Demote forces this server out of the leader role — the gateway calls
+// it (POST /api/v1/demote) when a stale ex-leader reappears after a
+// failover promoted a different replica, and the fence watcher calls it
+// when the durable directory is claimed by another process. The server
+// flips to follower (writes reject with 503 + X-Amf-Leader), and an
+// attached durable store is fenced in place: its WAL lineage has
+// diverged from the promoted leader's, so appends, checkpoints, and
+// truncations must stop before they corrupt the shared directory. A
+// demoted ex-leader does NOT rejoin as a live replica automatically —
+// its in-memory model may contain acked-but-unreplicated writes no
+// longer in any log — so restart it with -role follower to rejoin.
+func (s *Server) Demote(leader string) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if leader != "" {
+		s.demotedTo.Store(leader)
+	}
+	if s.follower.Load() {
+		// Already a follower: just re-point the tailer, like
+		// /api/v1/cluster/leader.
+		if rp := s.repl; rp != nil && leader != "" {
+			rp.SetLeader(leader)
+		}
+		return
+	}
+	s.follower.Store(true)
+	if m := s.durable; m != nil {
+		m.Fence("demoted, new leader: " + leader)
+	}
+	s.log.Warn("demoted to follower; restart with -role follower to rejoin the group",
+		"leader", leader)
+}
+
+// handleDemote is the gateway's split-brain repair hook (see Demote).
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Leader string `json:"leader"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&req) // leader is optional
+	s.Demote(req.Leader)
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "demoted", "leader": req.Leader})
 }

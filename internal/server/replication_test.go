@@ -3,9 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -319,6 +322,112 @@ func TestPromoteWithoutLeaderData(t *testing.T) {
 	}})
 	if w.Code != http.StatusOK {
 		t.Errorf("post-promote observe: %d", w.Code)
+	}
+}
+
+// TestPromoteFailureResumesFollower: a promotion that cannot open the
+// leader's data directory must leave the replica REPLICATING — not
+// parked as a stopped, write-rejecting follower that looks healthy and
+// can never serve a later promotion.
+func TestPromoteFailureResumesFollower(t *testing.T) {
+	leader, _, ts := leaderServer(t, t.TempDir(), store.SyncOff)
+	observeSome(t, leader)
+
+	// LeaderData pointing at a regular file: store.Open fails on it.
+	bad := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := startFollower(t, FollowerConfig{
+		Leader:       ts.URL,
+		LeaderData:   bad,
+		StoreOptions: store.Options{Logger: quietLogger()},
+	})
+	waitFor(t, 5*time.Second, "follower caught up", func() bool {
+		_, ok := predictOn(t, f, "u0", "s0")
+		return ok
+	})
+
+	if w := doReq(t, f, http.MethodPost, "/api/v1/promote", nil); w.Code != http.StatusConflict {
+		t.Fatalf("promote with bad leader data: %d, want 409", w.Code)
+	}
+	if !f.follower.Load() {
+		t.Fatal("failed promotion left the server claiming leadership")
+	}
+
+	// The tailer restarted: a fresh leader write still replicates.
+	w := doReq(t, leader, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: []Observation{
+		{User: "after-fail", Service: "s0", Value: 1.5},
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leader observe: %d", w.Code)
+	}
+	waitFor(t, 5*time.Second, "replication after failed promotion", func() bool {
+		_, ok := predictOn(t, f, "after-fail", "s0")
+		return ok
+	})
+
+	// A second promotion attempt still fails cleanly (and still resumes).
+	if w := doReq(t, f, http.MethodPost, "/api/v1/promote", nil); w.Code != http.StatusConflict {
+		t.Fatalf("second promote: %d, want 409", w.Code)
+	}
+	w = doReq(t, leader, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: []Observation{
+		{User: "after-fail-2", Service: "s0", Value: 1.5},
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leader observe: %d", w.Code)
+	}
+	waitFor(t, 5*time.Second, "replication after second failed promotion", func() bool {
+		_, ok := predictOn(t, f, "after-fail-2", "s0")
+		return ok
+	})
+}
+
+// TestDemoteFencesLeader: demotion flips a durable leader to a
+// write-rejecting follower pointing at the winner, and fences its store
+// so nothing more lands on the diverged WAL lineage.
+func TestDemoteFencesLeader(t *testing.T) {
+	leader, mgr, _ := durableServer(t, t.TempDir(), store.SyncOff)
+	observeSome(t, leader)
+
+	w := doReq(t, leader, http.MethodPost, "/api/v1/demote", map[string]string{"leader": "http://winner:1"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("demote: %d %s", w.Code, w.Body.String())
+	}
+	w = doReq(t, leader, http.MethodPost, "/api/v1/observe", ObserveRequest{Observations: []Observation{
+		{User: "x", Service: "y", Value: 1},
+	}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("observe after demote: %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("X-Amf-Leader"); got != "http://winner:1" {
+		t.Errorf("X-Amf-Leader = %q, want the demotion's winner", got)
+	}
+	if !mgr.Fenced() {
+		t.Fatal("demotion did not fence the durable store")
+	}
+	if _, err := mgr.WAL().Append([]byte("p")); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("append after demote: %v, want ErrFenced", err)
+	}
+	var st ClusterStatusResponse
+	_ = json.Unmarshal(doReq(t, leader, http.MethodGet, "/api/v1/cluster/status", nil).Body.Bytes(), &st)
+	if st.Role != "follower" || !st.Fenced {
+		t.Errorf("status after demote = %+v, want follower+fenced", st)
+	}
+	// Idempotent.
+	if w := doReq(t, leader, http.MethodPost, "/api/v1/demote", nil); w.Code != http.StatusOK {
+		t.Errorf("second demote: %d", w.Code)
+	}
+	// A demoted ex-leader can NEVER be promoted in place: promotion would
+	// re-claim the shared directory over the legitimate owner's head (and
+	// a gateway retrying failover would grab the lock in a loop). Only a
+	// restart as -role follower rejoins.
+	w = doReq(t, leader, http.MethodPost, "/api/v1/promote", nil)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("promote after demote: %d, want 409", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "fenced") {
+		t.Errorf("promote-after-demote error should name the fence: %s", w.Body.String())
 	}
 }
 

@@ -83,6 +83,7 @@ type Server struct {
 	// checkpoint.
 	follower    atomic.Bool
 	repl        *Replicator
+	demotedTo   atomic.Value // string: leader URL learned at demotion
 	promoteMu   sync.Mutex
 	replStreams sync.WaitGroup
 	replActive  atomic.Int64

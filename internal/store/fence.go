@@ -1,0 +1,206 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Fencing. The cluster's failover protocol is shared-storage: a promoted
+// follower opens the (presumed dead) leader's durable directory and
+// continues its WAL lineage. If that leader was merely partitioned, two
+// processes now hold the same segment files open — the old writer's
+// buffered appends, background checkpoints, and truncations would
+// corrupt the directory the new leader just claimed, and every sample
+// the old leader still acks lands on a diverged lineage nobody
+// replicates. The LOCK file makes the takeover observable: every Open
+// bumps a monotonic epoch and installs a fresh owner token, and a
+// background watcher on each Manager re-reads the file so a previous
+// owner notices within one check interval and fences itself — WAL
+// appends, flushes, checkpoints, and truncations all start failing with
+// ErrFenced, and an optional callback lets the embedding server demote
+// itself. The epoch also gives the gateway a total order on competing
+// leader claims: the highest epoch is, by construction, the most recent
+// holder of the durable directory.
+
+// ErrFenced is returned by WAL and Manager mutations after another
+// process has claimed the data directory (or Fence was called).
+var ErrFenced = errors.New("store: fenced: the data directory has been claimed by another process")
+
+// lockFileName is the claim file at the data directory root.
+const lockFileName = "LOCK"
+
+// DefaultFenceCheckInterval is how often a Manager re-reads the LOCK
+// file to detect a takeover.
+const DefaultFenceCheckInterval = time.Second
+
+// lockInfo is the LOCK file's JSON body.
+type lockInfo struct {
+	// Epoch increments on every Open of the directory; the highest
+	// epoch is the most recent claimant.
+	Epoch uint64 `json:"epoch"`
+	// Owner is the claimant's unique token (host, pid, random suffix —
+	// unique per Open, not just per process).
+	Owner string `json:"owner"`
+	// Acquired records when the claim was written (diagnostics only).
+	Acquired string `json:"acquired"`
+}
+
+// readLock parses the directory's LOCK file. A missing file returns the
+// zero lockInfo (epoch 0) — the directory has never been claimed. A
+// malformed file does too: treating garbage as "unclaimed" lets a new
+// Open repair it, and the epoch restarting from 1 still fences every
+// token mismatch.
+func readLock(dir string) (lockInfo, error) {
+	var li lockInfo
+	data, err := os.ReadFile(filepath.Join(dir, lockFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return li, nil
+	}
+	if err != nil {
+		return li, fmt.Errorf("store: read lock: %w", err)
+	}
+	if err := json.Unmarshal(data, &li); err != nil {
+		return lockInfo{}, nil
+	}
+	return li, nil
+}
+
+// acquireLock claims the directory: epoch = previous + 1, fresh owner
+// token, written atomically (temp → fsync → rename → dir fsync) so a
+// crash mid-claim can never leave a torn LOCK file.
+func acquireLock(dir string) (lockInfo, error) {
+	prev, err := readLock(dir)
+	if err != nil {
+		return lockInfo{}, err
+	}
+	li := lockInfo{
+		Epoch:    prev.Epoch + 1,
+		Owner:    newOwnerToken(),
+		Acquired: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	data, err := json.Marshal(li)
+	if err != nil {
+		return lockInfo{}, fmt.Errorf("store: encode lock: %w", err)
+	}
+	tmp := filepath.Join(dir, lockFileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return lockInfo{}, fmt.Errorf("store: create lock: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return lockInfo{}, fmt.Errorf("store: write lock: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return lockInfo{}, fmt.Errorf("store: sync lock: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return lockInfo{}, fmt.Errorf("store: close lock: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, lockFileName)); err != nil {
+		os.Remove(tmp)
+		return lockInfo{}, fmt.Errorf("store: publish lock: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return lockInfo{}, err
+	}
+	return li, nil
+}
+
+// newOwnerToken builds a token unique per Open: host and pid for
+// operator legibility, random suffix for uniqueness (the same process
+// may reopen a directory, and pids recycle).
+func newOwnerToken() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Fall back to a clock-derived suffix; uniqueness only has to
+		// hold across claimants of one directory.
+		return fmt.Sprintf("%s-%d-t%d", host, os.Getpid(), time.Now().UnixNano())
+	}
+	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(buf[:]))
+}
+
+// Epoch returns the claim epoch this manager acquired at Open. Higher
+// epochs claimed the directory more recently.
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// Fenced reports whether this manager has lost the directory claim (or
+// Fence was called): all mutations fail with ErrFenced.
+func (m *Manager) Fenced() bool { return m.fenced.Load() }
+
+// SetOnFence installs a callback invoked (once, from the fence watcher
+// or the fencing caller) when the manager becomes fenced. The embedding
+// server uses it to demote itself out of the leader role.
+func (m *Manager) SetOnFence(fn func()) { m.onFence.Store(fn) }
+
+// Fence manually fences the manager: WAL appends, flushes, checkpoints,
+// and truncations start failing with ErrFenced, and buffered-but-
+// unflushed appends are dropped rather than written into a directory a
+// newer claimant may own. Used on demotion; idempotent.
+func (m *Manager) Fence(reason string) { m.fenceNow(reason) }
+
+func (m *Manager) fenceNow(reason string) {
+	if !m.fenced.CompareAndSwap(false, true) {
+		return
+	}
+	m.wal.Fence()
+	m.log.Error("durable store fenced: all mutations disabled",
+		"dir", m.dir, "epoch", m.epoch, "reason", reason)
+	// Invoke the callback on its own goroutine: the typical callback is
+	// "demote the server", and a demotion may itself fence the manager —
+	// calling back synchronously from inside that lock would deadlock.
+	if fn, ok := m.onFence.Load().(func()); ok && fn != nil {
+		go fn()
+	}
+}
+
+// checkFence re-reads the LOCK file and fences the manager if another
+// owner has claimed the directory. Returns true once fenced (the
+// watcher then stops — fencing is one-way; rejoining requires a fresh
+// Open).
+func (m *Manager) checkFence() bool {
+	if m.fenced.Load() {
+		return true
+	}
+	li, err := readLock(m.dir)
+	if err != nil {
+		m.log.Warn("fence check failed", "dir", m.dir, "err", err)
+		return false
+	}
+	if li.Owner == m.lockOwner {
+		return false
+	}
+	m.fenceNow(fmt.Sprintf("lock held by %s (epoch %d, ours %d)", li.Owner, li.Epoch, m.epoch))
+	return true
+}
+
+// fenceWatch polls the LOCK file until fenced or closed.
+func (m *Manager) fenceWatch() {
+	defer m.fenceWG.Done()
+	ticker := time.NewTicker(m.opts.FenceCheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.fenceStop:
+			return
+		case <-ticker.C:
+			if m.checkFence() {
+				return
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,10 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// Retain is how many checkpoints to keep (default 3).
 	Retain int
+	// FenceCheckInterval is how often the manager re-reads the LOCK
+	// file to detect that another process claimed the directory
+	// (default DefaultFenceCheckInterval; see fence.go).
+	FenceCheckInterval time.Duration
 	// Logger receives lifecycle and warning events (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -30,6 +35,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.CheckpointInterval <= 0 {
 		o.CheckpointInterval = time.Minute
+	}
+	if o.FenceCheckInterval <= 0 {
+		o.FenceCheckInterval = DefaultFenceCheckInterval
 	}
 	if o.Retain <= 0 {
 		o.Retain = DefaultRetain
@@ -81,13 +89,26 @@ type Manager struct {
 	ckptMu  sync.Mutex
 	capture func() (seq uint64, data []byte, err error)
 
+	// Directory claim (see fence.go): epoch and owner token from the
+	// LOCK file written at Open; fenced flips when another claimant
+	// appears (or Fence is called) and permanently disables mutations.
+	epoch     uint64
+	lockOwner string
+	fenced    atomic.Bool
+	onFence   atomic.Value // func()
+	fenceStop chan struct{}
+	fenceWG   sync.WaitGroup
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started bool
 	closed  bool
 }
 
-// Open creates or reopens a durable-state directory.
+// Open creates or reopens a durable-state directory. Opening claims the
+// directory: the LOCK file's epoch is bumped and a previous owner still
+// running (a partitioned ex-leader on shared storage) fences itself
+// within one FenceCheckInterval — see fence.go.
 func Open(dir string, opts Options) (*Manager, error) {
 	opts = opts.withDefaults()
 	if dir == "" {
@@ -95,6 +116,10 @@ func Open(dir string, opts Options) (*Manager, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
 	}
 	ckptDir := filepath.Join(dir, "checkpoints")
 	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
@@ -111,15 +136,21 @@ func Open(dir string, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
-		dir:     dir,
-		ckptDir: ckptDir,
-		wal:     wal,
-		met:     met,
-		log:     opts.Logger,
-		opts:    opts,
-		stop:    make(chan struct{}),
-	}, nil
+	m := &Manager{
+		dir:       dir,
+		ckptDir:   ckptDir,
+		wal:       wal,
+		met:       met,
+		log:       opts.Logger,
+		opts:      opts,
+		epoch:     lock.Epoch,
+		lockOwner: lock.Owner,
+		fenceStop: make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	m.fenceWG.Add(1)
+	go m.fenceWatch()
+	return m, nil
 }
 
 // WAL returns the manager's journal (the engine's Journal).
@@ -236,6 +267,9 @@ func (m *Manager) Checkpoint() error {
 	if m.capture == nil {
 		return errors.New("store: no capture function; call Start first")
 	}
+	if m.fenced.Load() {
+		return ErrFenced
+	}
 	start := time.Now()
 	seq, data, err := m.capture()
 	if err != nil {
@@ -251,6 +285,14 @@ func (m *Manager) Checkpoint() error {
 	// always >= any durable checkpoint's claimed sequence.
 	if err := m.wal.Sync(); err != nil {
 		return fmt.Errorf("store: sync wal before checkpoint: %w", err)
+	}
+	// Re-verify the directory claim at the last moment: the fence
+	// watcher only polls, and a checkpoint written (plus WAL segments
+	// truncated) after a takeover would corrupt the new owner's
+	// directory. One small file read against a multi-megabyte durable
+	// write is cheap insurance.
+	if m.checkFence() {
+		return ErrFenced
 	}
 	if err := WriteCheckpoint(m.ckptDir, seq, data); err != nil {
 		return err
@@ -291,6 +333,8 @@ func (m *Manager) Close() error {
 	m.closed = true
 	started := m.started
 	m.ckptMu.Unlock()
+	close(m.fenceStop)
+	m.fenceWG.Wait()
 	if started {
 		close(m.stop)
 		m.wg.Wait()

@@ -126,6 +126,7 @@ type WAL struct {
 	segments []walSegment // sorted; last is the open one
 	dirty    bool         // unflushed or un-fsynced bytes pending
 	failed   bool
+	fenced   bool // another process claimed the directory; see fence.go
 	closed   bool
 
 	stopFlush chan struct{}
@@ -404,6 +405,10 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if w.closed {
 		return 0, errors.New("store: append on closed wal")
 	}
+	if w.fenced {
+		w.met.Errors.Add(1)
+		return 0, ErrFenced
+	}
 	if w.failed {
 		w.met.Errors.Add(1)
 		return 0, ErrWALFailed
@@ -445,7 +450,22 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
+// Fence permanently disables mutations: appends, flushes, rotations,
+// and truncations return ErrFenced, and bytes still sitting in the
+// write buffer are dropped rather than flushed — the segment file's
+// tail now belongs to the directory's new owner, and writing our
+// buffered records over it would corrupt their log. See fence.go.
+func (w *WAL) Fence() {
+	w.mu.Lock()
+	w.fenced = true
+	w.dirty = false
+	w.mu.Unlock()
+}
+
 func (w *WAL) syncLocked() error {
+	if w.fenced {
+		return ErrFenced
+	}
 	if !w.dirty {
 		return nil
 	}
@@ -475,7 +495,7 @@ func (w *WAL) flushLoop() {
 			return
 		case <-ticker.C:
 			w.mu.Lock()
-			if !w.closed && w.f != nil {
+			if !w.closed && !w.fenced && w.f != nil {
 				if err := w.syncLocked(); err != nil {
 					w.log.Warn("wal: background flush failed", "err", err)
 				}
@@ -521,6 +541,9 @@ func (w *WAL) AdvanceTo(seq uint64) error {
 	if w.closed {
 		return errors.New("store: advance on closed wal")
 	}
+	if w.fenced {
+		return ErrFenced
+	}
 	if seq <= w.seq {
 		return nil
 	}
@@ -540,6 +563,9 @@ func (w *WAL) AdvanceTo(seq uint64) error {
 func (w *WAL) TruncateThrough(seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.fenced {
+		return ErrFenced
+	}
 	removed := 0
 	for len(w.segments) > 1 && w.segments[1].first <= seq+1 {
 		path := filepath.Join(w.dir, w.segments[0].name)
@@ -613,17 +639,22 @@ func (w *WAL) Close() error {
 	defer w.mu.Unlock()
 	var err error
 	if w.f != nil {
-		if ferr := w.bw.Flush(); ferr != nil && err == nil {
-			err = fmt.Errorf("store: close wal: %w", ferr)
-		}
-		if w.dirty {
-			start := time.Now()
-			if serr := w.f.Sync(); serr != nil && err == nil {
-				err = fmt.Errorf("store: close wal: %w", serr)
-			} else if serr == nil {
-				w.met.Fsync.Observe(time.Since(start).Seconds())
+		// A fenced log closes without flushing: the buffered bytes
+		// belong to a lineage the directory's new owner has already
+		// diverged from, and writing them would corrupt that log.
+		if !w.fenced {
+			if ferr := w.bw.Flush(); ferr != nil && err == nil {
+				err = fmt.Errorf("store: close wal: %w", ferr)
 			}
-			w.dirty = false
+			if w.dirty {
+				start := time.Now()
+				if serr := w.f.Sync(); serr != nil && err == nil {
+					err = fmt.Errorf("store: close wal: %w", serr)
+				} else if serr == nil {
+					w.met.Fsync.Observe(time.Since(start).Seconds())
+				}
+				w.dirty = false
+			}
 		}
 		if cerr := w.f.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("store: close wal: %w", cerr)
