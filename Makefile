@@ -2,18 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster test-cluster fuzz ci experiments experiments-paper examples clean
+# Build identification, stamped into every binary's amf_build_info gauge
+# (see internal/obs/buildinfo.go). Untagged trees fall back to the
+# commit; non-git tarballs to "dev"/"unknown".
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -X github.com/qoslab/amf/internal/obs.buildVersion=$(VERSION) \
+           -X github.com/qoslab/amf/internal/obs.buildCommit=$(COMMIT)
+
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster test-cluster lint-metrics fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
-# plus the race detector over the concurrent internals and the
-# observability smoke check.
-ci: build vet test bench-smoke test-cluster
+# the metrics-docs lint, plus the race detector over the concurrent
+# internals and the observability smoke check.
+ci: build vet test lint-metrics bench-smoke test-cluster
 	$(GO) test -race ./internal/...
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
+
+# Metrics-docs lint: registers every runtime metric family (server with
+# all subsystems attached, gateway, federation-derived gauges) and fails
+# if any amf_* name is missing from README.md's metrics tables.
+lint-metrics:
+	$(GO) test -run TestMetricsDocumented ./internal/cluster/
 
 vet:
 	$(GO) vet ./...

@@ -128,6 +128,7 @@ func run(args []string) error {
 	}()
 
 	logger.Info("amfgateway starting",
+		"version", obs.BuildVersion(), "commit", obs.BuildCommit(),
 		"addr", *addr, "groups", len(shards), "vnodes", *vnodes,
 		"probe_interval", *probeIvl, "down_after", *downAfter,
 		"failover", *failover, "fanout_threshold", *fanout)

@@ -246,6 +246,7 @@ func run(args []string) error {
 	// Effective config, one structured record: everything an operator
 	// needs to reproduce this process.
 	logger.Info("amfserver starting",
+		"version", obs.BuildVersion(), "commit", obs.BuildCommit(),
 		"addr", *addr, "attr", attr.String(),
 		"rank", cfg.Rank, "eta", cfg.LearnRate, "beta", cfg.Beta, "alpha", cfg.Alpha,
 		"expiry", *expiry, "replay_interval", *replay, "replay_batch", *batch,

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/obs/trace"
 	"github.com/qoslab/amf/internal/server"
 )
 
@@ -66,6 +68,7 @@ type replica struct {
 	walSeq     atomic.Uint64
 	epoch      atomic.Uint64 // durable directory claim epoch (0 = non-durable)
 	fenced     atomic.Bool   // lost its directory claim; never promotable
+	lagSecs    atomic.Uint64 // follower time-lag, Float64bits (federation gauge)
 }
 
 func (rep *replica) Health() Health { return Health(rep.health.Load()) }
@@ -98,7 +101,13 @@ type Gateway struct {
 	fanouts      *obs.Counter
 	failovers    *obs.Counter
 	demotions    *obs.Counter
-	probeFails   *obs.Counter
+	probeErrors  *obs.Counter
+	probeLatency *obs.Histogram
+	scrapeErrors *obs.Counter
+
+	// traces records the gateway's half of every proxied request: the
+	// root span minted in timed() plus one child per backend round trip.
+	traces *trace.Recorder
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -135,6 +144,7 @@ func New(cfg Config) (*Gateway, error) {
 		byName: make(map[string]*group),
 		http:   cfg.HTTP,
 		log:    cfg.Logger,
+		traces: trace.NewRecorder(trace.Config{}),
 		stop:   make(chan struct{}),
 	}
 	if g.http == nil {
@@ -199,9 +209,16 @@ func (g *Gateway) Handler() http.Handler { return g.mux }
 // Ring exposes the routing ring (tests, status).
 func (g *Gateway) Ring() *Ring { return g.ring }
 
+// Registry exposes the gateway's metric registry (embedders, federation).
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// Traces exposes the span recorder behind GET /debug/traces.
+func (g *Gateway) Traces() *trace.Recorder { return g.traces }
+
 func (g *Gateway) buildMetrics() {
 	r := obs.NewRegistry()
 	g.reg = r
+	obs.RegisterBuildInfo(r)
 	g.requests = r.NewCounterVec("amf_cluster_requests_total",
 		"Requests routed through the gateway, by route.", "route")
 	g.proxySeconds = r.NewHistogramVec("amf_cluster_proxy_seconds",
@@ -218,8 +235,14 @@ func (g *Gateway) buildMetrics() {
 		"Leader promotions driven by the gateway.")
 	g.demotions = r.NewCounter("amf_cluster_demotions_total",
 		"Stale leaders demoted by the gateway (ex-leaders that recovered after a failover).")
-	g.probeFails = r.NewCounter("amf_cluster_probe_failures_total",
+	g.probeErrors = r.NewCounter("amf_cluster_probe_errors_total",
 		"Health probes that failed.")
+	g.probeLatency = obs.NewHistogram(1e-6, 60, 8)
+	r.RegisterHistogram("amf_cluster_probe_latency_seconds",
+		"Health-probe round-trip latency (tunes failover sensitivity: DownAfter x ProbeInterval should clear the tail).",
+		g.probeLatency)
+	g.scrapeErrors = r.NewCounter("amf_cluster_scrape_errors_total",
+		"Replica /metrics scrapes that failed during federation.")
 	r.GaugeFunc("amf_cluster_groups", "Configured shard groups.",
 		func() float64 { return float64(len(g.groups)) })
 	r.GaugeFunc("amf_cluster_replicas", "Configured replicas across all groups.",
@@ -249,20 +272,47 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /api/v1/cluster/status", g.handleStatus)
+	g.mux.HandleFunc("GET /api/v1/cluster/metrics", g.handleClusterMetrics)
+	g.mux.Handle("GET /debug/traces", g.traces)
 	g.mux.HandleFunc("POST /api/v1/observe", g.timed("observe", g.handleObserve))
 	g.mux.HandleFunc("GET /api/v1/predict", g.timed("predict", g.handlePredict))
 	g.mux.HandleFunc("POST /api/v1/predict", g.timed("batch", g.handleBatchPredict))
 	g.mux.HandleFunc("POST /api/v1/rank", g.timed("rank", g.handleRank))
 }
 
+// requestIDHeader mirrors the server's spelling (canonical MIME form, so
+// direct header-map assignment skips canonicalization).
+const requestIDHeader = "X-Request-Id"
+
+// timed wraps a proxied route with the gateway's per-route metrics and
+// mints the root span of a new trace: every proxied request gets a fresh
+// 128-bit trace ID, echoed to the client as X-Request-Id and propagated
+// to backends via X-Amf-Trace (see stampTrace), so one identifier names
+// the request at the client, the gateway, and every shard it touched.
 func (g *Gateway) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 	counter := g.requests.With(route)
 	hist := g.proxySeconds.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		counter.Inc()
+		sp := g.traces.Start(trace.NewID(), 0, route)
+		w.Header()[requestIDHeader] = []string{sp.Trace.String()}
+		r = r.WithContext(trace.NewContext(r.Context(), sp))
 		h(w, r)
-		hist.Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		hist.Observe(d.Seconds())
+		sp.Finish(d)
+	}
+}
+
+// stampTrace propagates the context's span onto an outgoing backend
+// request — the backend adopts the trace ID and records its own spans
+// under it. A header-map assignment and nothing else, so the raw
+// pass-through path stays raw. No-op for untraced contexts (probes,
+// failover control calls).
+func stampTrace(req *http.Request, sp *trace.Span) {
+	if sp != nil {
+		req.Header[trace.Header] = []string{trace.HeaderValue(sp.Trace, sp.ID)}
 	}
 }
 
@@ -339,11 +389,20 @@ func (g *Gateway) postJSON(ctx context.Context, url string, body, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sp := trace.FromContext(ctx)
+	stampTrace(req, sp)
+	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
+		child.SetError()
+		child.FinishNow()
 		g.proxyErrors.Inc()
 		return err
 	}
+	if resp.StatusCode != http.StatusOK {
+		child.SetError()
+	}
+	child.FinishNow()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		g.proxyErrors.Inc()
@@ -372,16 +431,25 @@ func (g *Gateway) forwardRaw(w http.ResponseWriter, r *http.Request, url string,
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Tracing on the raw path touches headers only: the body and response
+	// still stream through untouched.
+	sp := trace.FromContext(r.Context())
+	stampTrace(req, sp)
+	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
+		child.SetError()
+		child.FinishNow()
 		g.proxyErrors.Inc()
 		g.writeError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		child.SetError()
 		g.proxyErrors.Inc()
 	}
+	child.FinishNow()
 	copyResponse(w, resp)
 }
 
@@ -648,16 +716,23 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	sp := trace.FromContext(r.Context())
+	stampTrace(req, sp)
+	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
+		child.SetError()
+		child.FinishNow()
 		g.proxyErrors.Inc()
 		g.writeError(w, http.StatusBadGateway, "predict: %v", err)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		child.SetError()
 		g.proxyErrors.Inc()
 	}
+	child.FinishNow()
 	copyResponse(w, resp)
 }
 
@@ -874,7 +949,9 @@ func (g *Gateway) probe(rep *replica) {
 	if err != nil {
 		return
 	}
+	start := time.Now()
 	resp, err := g.http.Do(req)
+	g.probeLatency.Observe(time.Since(start).Seconds())
 	if err == nil {
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
@@ -882,7 +959,7 @@ func (g *Gateway) probe(rep *replica) {
 		}
 	}
 	if err != nil {
-		g.probeFails.Inc()
+		g.probeErrors.Inc()
 		fails := rep.fails.Add(1)
 		switch {
 		case int(fails) >= g.cfg.DownAfter:
@@ -894,7 +971,7 @@ func (g *Gateway) probe(rep *replica) {
 	}
 	var st server.ClusterStatusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		g.probeFails.Inc()
+		g.probeErrors.Inc()
 		return
 	}
 	rep.fails.Store(0)
@@ -906,9 +983,11 @@ func (g *Gateway) probe(rep *replica) {
 	if st.Role == "leader" && !st.Fenced {
 		rep.role.Store(1)
 		rep.walSeq.Store(st.WALSeq)
+		rep.lagSecs.Store(0)
 	} else {
 		rep.role.Store(0)
 		rep.appliedSeq.Store(st.AppliedSeq)
+		rep.lagSecs.Store(math.Float64bits(st.LagSeconds))
 	}
 }
 

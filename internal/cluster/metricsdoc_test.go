@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/engine"
+	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/server"
+	"github.com/qoslab/amf/internal/store"
+)
+
+// TestMetricsDocumented is the metrics-docs lint behind `make
+// lint-metrics`: it instantiates every registry the project can build —
+// a server with all optional subsystems attached (durable store,
+// parallel training, follower replication), the gateway, and the
+// federation-derived gauges — and fails if any amf_* family name is
+// missing from README.md's metrics tables. Adding a metric without
+// documenting it breaks `make ci`.
+func TestMetricsDocumented(t *testing.T) {
+	runtime := map[string]bool{}
+	collect := func(r *obs.Registry) {
+		for _, name := range r.Families() {
+			runtime[name] = true
+		}
+	}
+
+	// Server with every optional subsystem lit: parallel training
+	// (amf_train_*), a durable store (amf_wal_*, amf_checkpoint*,
+	// amf_recovery_*, amf_journal_errors_total).
+	dir := t.TempDir()
+	mgr, err := store.Open(dir, store.Options{
+		Sync:               store.SyncAlways,
+		CheckpointInterval: time.Hour,
+		Logger:             quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer mgr.Close()
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := server.NewWithEngine(
+		engine.New(core.MustNew(cfg), engine.Config{TrainWorkers: 2}),
+		server.WithLogger(quietLogger()))
+	defer svc.Close()
+	if _, err := svc.AttachDurable(mgr); err != nil {
+		t.Fatalf("AttachDurable: %v", err)
+	}
+	collect(svc.Registry())
+
+	// A follower adds the replication families (amf_replication_*); it
+	// needs a durable leader to bootstrap from.
+	leader, leaderMgr, _ := durableBackend(t, t.TempDir())
+	tsLeader := httptest.NewServer(leader.Handler())
+	t.Cleanup(func() { leaderMgr.Close() })
+	t.Cleanup(leader.Close)
+	t.Cleanup(tsLeader.Close)
+	folCfg := core.DefaultConfig(-0.007, 0, 20)
+	folCfg.Expiry = 0
+	follower := server.New(core.MustNew(folCfg), server.WithLogger(quietLogger()))
+	defer follower.Close()
+	if _, err := follower.StartFollower(server.FollowerConfig{
+		Leader:        tsLeader.URL,
+		WaitMS:        100,
+		RetryInterval: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("StartFollower: %v", err)
+	}
+	collect(follower.Registry())
+
+	// The gateway's registry plus the gauges GET /api/v1/cluster/metrics
+	// synthesizes (they live on no registry).
+	g := newGateway(t, [][]string{{tsLeader.URL}}, nil)
+	collect(g.Registry())
+	for _, name := range DerivedFederationMetricNames() {
+		runtime[name] = true
+	}
+
+	// Documented names: every amf_* token inside a README table row.
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	nameRE := regexp.MustCompile(`amf_[a-z0-9_]+`)
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(readme), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, name := range nameRE.FindAllString(line, -1) {
+			documented[name] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("found no amf_* names in README.md table rows — metrics tables missing?")
+	}
+
+	var missing []string
+	for name := range runtime {
+		// Histogram families expose _bucket/_sum/_count series under the
+		// family name; the table documents the family.
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("metric families missing from README.md's metrics tables (add a row per name):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

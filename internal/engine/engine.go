@@ -155,6 +155,19 @@ type Stats struct {
 type syncBatch struct {
 	samples []stream.Sample
 	done    chan struct{}
+	// timing, when non-nil, receives the per-stage breakdown of this
+	// batch (traced observes only); enq is its enqueue time.
+	timing *ObserveTiming
+	enq    time.Time
+}
+
+// ObserveTiming is the per-stage breakdown of one synchronous observe
+// batch, filled by ObserveAllTraced for trace annotation.
+type ObserveTiming struct {
+	QueueWait time.Duration // enqueue → writer starts applying the batch
+	Journal   time.Duration // WAL append (zero without a journal)
+	Apply     time.Duration // model update
+	Publish   time.Duration // view rebuild + RCU publish
 }
 
 // queued is one ingest-queue entry: the sample plus its enqueue time
@@ -228,6 +241,12 @@ type Engine struct {
 	journal     Journal
 	drainBuf    []stream.Sample
 	journalErrs atomic.Int64
+
+	// timing, when non-nil, receives per-stage durations for the sync
+	// batch currently being applied. Guarded by mu: set only inside the
+	// traced sync-batch critical section, nil everywhere else, so the
+	// untraced paths pay a single nil check.
+	timing *ObserveTiming
 
 	// publish bookkeeping, guarded by mu.
 	sincePublish int       // model updates since the last publish
@@ -413,8 +432,24 @@ func (e *Engine) EnqueueAll(ss []stream.Sample) int {
 // fresh view has been published, so a subsequent View() reflects the
 // observations — read-your-writes for the HTTP observe endpoint. The
 // batch is applied by the writer goroutine; callers only wait.
-func (e *Engine) ObserveAll(ss []stream.Sample) {
-	sb := syncBatch{samples: ss, done: make(chan struct{})}
+func (e *Engine) ObserveAll(ss []stream.Sample) { e.observeAll(ss, nil) }
+
+// ObserveAllTraced is ObserveAll plus a per-stage timing breakdown for
+// distributed tracing: how long the batch waited for the writer, then
+// the journal append, model apply, and view publish durations. The
+// plain ObserveAll path pays nothing for this — timings are recorded
+// only when a destination struct is attached to the batch.
+func (e *Engine) ObserveAllTraced(ss []stream.Sample) ObserveTiming {
+	var t ObserveTiming
+	e.observeAll(ss, &t)
+	return t
+}
+
+func (e *Engine) observeAll(ss []stream.Sample, t *ObserveTiming) {
+	sb := syncBatch{samples: ss, done: make(chan struct{}), timing: t}
+	if t != nil {
+		sb.enq = time.Now()
+	}
 	select {
 	case e.syncCh <- sb:
 		select {
@@ -426,12 +461,12 @@ func (e *Engine) ObserveAll(ss []stream.Sample) {
 			select {
 			case <-sb.done:
 			default:
-				e.applyInline(ss)
+				e.applyInline(ss, t)
 			}
 		}
 	case <-e.stop:
 		e.wg.Wait()
-		e.applyInline(ss)
+		e.applyInline(ss, t)
 	}
 }
 
@@ -445,11 +480,13 @@ func (e *Engine) Flush() { e.ObserveAll(nil) }
 
 // applyInline is the post-Close fallback: the writer is gone, so mutate
 // under mu directly.
-func (e *Engine) applyInline(ss []stream.Sample) {
+func (e *Engine) applyInline(ss []stream.Sample, t *ObserveTiming) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.timing = t
 	e.applyLocked(ss)
 	e.publishLocked()
+	e.timing = nil
 }
 
 // ---------------------------------------------------------------------------
@@ -688,9 +725,18 @@ func (e *Engine) loop() {
 		case sb := <-e.syncCh:
 			e.mu.Lock()
 			e.drainLocked() // queue order: async samples first
+			if sb.timing != nil {
+				// Queue wait for a sync batch = enqueue until the writer
+				// turns to it (includes draining the async backlog ahead
+				// of it). Safe to write here: the caller reads only after
+				// done closes, which happens after the unlock below.
+				sb.timing.QueueWait = time.Since(sb.enq)
+				e.timing = sb.timing
+			}
 			e.applyLocked(sb.samples)
 			e.replayLocked()
 			e.publishLocked() // force: sync callers get read-your-writes
+			e.timing = nil
 			e.mu.Unlock()
 			close(sb.done)
 		case <-e.wake:
@@ -811,8 +857,12 @@ func (e *Engine) applyLocked(ss []stream.Sample) {
 	if len(ss) == 0 {
 		return
 	}
+	jStart := time.Now()
 	e.journalSamplesLocked(ss) // journal-before-apply
 	start := time.Now()
+	if e.timing != nil {
+		e.timing.Journal = start.Sub(jStart)
+	}
 	if e.trainer != nil {
 		e.trainer.Apply(ss)
 	} else {
@@ -821,6 +871,9 @@ func (e *Engine) applyLocked(ss []stream.Sample) {
 		}
 	}
 	dur := time.Since(start).Seconds()
+	if e.timing != nil {
+		e.timing.Apply = time.Duration(dur * float64(time.Second))
+	}
 	e.metrics.Apply.ObserveN(dur/float64(len(ss)), int64(len(ss)))
 	e.applied.Add(int64(len(ss)))
 	e.sincePublish += len(ss)
@@ -874,6 +927,9 @@ func (e *Engine) publishLocked() {
 	e.sincePublish = 0
 	e.lastPublish = time.Now()
 	e.metrics.Publish.Observe(e.lastPublish.Sub(start).Seconds())
+	if e.timing != nil {
+		e.timing.Publish = e.lastPublish.Sub(start)
+	}
 	e.pending.Store(0)
 	e.lastPublishNano.Store(e.lastPublish.UnixNano())
 }

@@ -48,6 +48,36 @@ func TestObserveAllReadYourWrites(t *testing.T) {
 	}
 }
 
+func TestObserveAllTracedTimings(t *testing.T) {
+	e := New(testModel(t), Config{})
+	defer e.Close()
+	ss := seedSamples(4, 5)
+	tm := e.ObserveAllTraced(ss)
+	if tm.QueueWait <= 0 {
+		t.Errorf("QueueWait = %v, want > 0", tm.QueueWait)
+	}
+	if tm.Apply <= 0 {
+		t.Errorf("Apply = %v, want > 0", tm.Apply)
+	}
+	if tm.Publish <= 0 {
+		t.Errorf("Publish = %v, want > 0", tm.Publish)
+	}
+	// No journal attached: the append stage must report (near) zero.
+	if tm.Journal > time.Millisecond {
+		t.Errorf("Journal = %v without a journal attached", tm.Journal)
+	}
+	if _, err := e.Predict(0, 0); err != nil {
+		t.Fatalf("traced observe lost read-your-writes: %v", err)
+	}
+
+	// The traced path must keep working after Close (inline fallback).
+	e.Close()
+	tm = e.ObserveAllTraced(seedSamples(5, 6))
+	if tm.Apply <= 0 || tm.Publish <= 0 {
+		t.Errorf("post-Close traced observe timings = %+v, want non-zero apply/publish", tm)
+	}
+}
+
 func TestEnqueueFlushVisibility(t *testing.T) {
 	e := New(testModel(t), Config{})
 	defer e.Close()

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the federation side of the exposition format: merging
+// several parsed /metrics pages (one per cluster replica) into a single
+// valid page, with per-page origin labels distinguishing the series.
+// The gateway uses it for GET /api/v1/cluster/metrics.
+
+// FederatedPage is one already-parsed exposition page plus the labels
+// that identify its origin — e.g. {"group","shard-0"},{"replica",url}.
+// The labels are appended to every re-exported sample in order; a label
+// key that already exists on a sample is overridden by the page's value
+// (origin wins — the whole point of federation is saying where a series
+// came from).
+type FederatedPage struct {
+	Labels  [][2]string
+	Metrics *TextMetrics
+}
+
+// WriteFederated merges pages into one exposition page parseable by the
+// same strict ParseMetrics that produced the inputs. Each family's
+// HELP/TYPE header is emitted once (first-seen help wins; families
+// appear in first-seen order across pages), followed by every page's
+// samples for it with that page's labels appended. Pages disagreeing on
+// a family's TYPE are a configuration error and fail the whole write —
+// silently merging a counter into a gauge would corrupt both.
+func WriteFederated(w io.Writer, pages []FederatedPage) error {
+	type fam struct {
+		help, typ string
+		// samples in page order, each already rendered to one line
+		lines []string
+	}
+	fams := make(map[string]*fam)
+	var order []string
+	for _, page := range pages {
+		if page.Metrics == nil {
+			continue
+		}
+		for _, name := range page.Metrics.Order {
+			src := page.Metrics.Families[name]
+			f, ok := fams[name]
+			if !ok {
+				f = &fam{help: src.Help, typ: src.Type}
+				fams[name] = f
+				order = append(order, name)
+			} else if f.typ != src.Type {
+				return fmt.Errorf("obs: federated family %s: TYPE %s vs %s across pages",
+					name, f.typ, src.Type)
+			}
+			for _, s := range src.Samples {
+				f.lines = append(f.lines, renderFederatedSample(s, page.Labels))
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.typ)
+		for _, line := range f.lines {
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// renderFederatedSample re-renders one parsed sample with the page's
+// origin labels appended: original labels in sorted key order (the
+// parse dropped file order), then the page labels, originals shadowed
+// by a page label of the same key elided.
+func renderFederatedSample(s Sample, pageLabels [][2]string) string {
+	shadowed := func(k string) bool {
+		for _, pl := range pageLabels {
+			if pl[0] == k {
+				return true
+			}
+		}
+		return false
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if !shadowed(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := s.Name
+	if len(keys) > 0 || len(pageLabels) > 0 {
+		out += "{"
+		for i, k := range keys {
+			if i > 0 {
+				out += ","
+			}
+			out += renderLabel(k, s.Labels[k])
+		}
+		for i, pl := range pageLabels {
+			if i > 0 || len(keys) > 0 {
+				out += ","
+			}
+			out += renderLabel(pl[0], pl[1])
+		}
+		out += "}"
+	}
+	return out + " " + formatFloat(s.Value)
+}

@@ -116,6 +116,26 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.addFamily(name, help, KindGauge).add(&series{floatFn: fn})
 }
 
+// ConstGauge registers a gauge with a fixed value and a fixed multi-label
+// set, given as key/value pairs — the amf_build_info idiom, where the
+// payload is the labels and the value is a constant 1. Panics on an odd
+// kv count or an invalid label key, like all registration-time errors.
+func (r *Registry) ConstGauge(name, help string, value float64, kv ...string) {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: ConstGauge %s: odd key/value count", name))
+	}
+	var labels strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		checkName(kv[i])
+		if i > 0 {
+			labels.WriteString(",")
+		}
+		labels.WriteString(renderLabel(kv[i], kv[i+1]))
+	}
+	v := value
+	r.addFamily(name, help, KindGauge).add(&series{labels: labels.String(), floatFn: func() float64 { return v }})
+}
+
 // CounterFunc registers a counter whose value is read at scrape time from
 // an external monotonic source (e.g. the engine's accounting atomics).
 func (r *Registry) CounterFunc(name, help string, fn func() int64) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/obs/trace"
 	"github.com/qoslab/amf/internal/stream"
 )
 
@@ -57,6 +58,10 @@ func (s *Server) buildMetrics() {
 	for _, mode := range []string{"serial", "parallel", "full_scan", "full_scan_parallel"} {
 		s.rankLatency.With(mode)
 	}
+
+	// Build identification (ldflags-stamped; covers the embedded qosdb,
+	// which has no process of its own).
+	obs.RegisterBuildInfo(r)
 
 	// Model gauges.
 	r.GaugeFunc("amf_model_users", "Users currently registered.", func() float64 { return float64(s.users.Len()) })
@@ -208,7 +213,14 @@ const latencySampleMask = 7
 //     requests (the first and every 8th per route — deterministic for
 //     single-shot probes), one is generated up front when request
 //     logging is enabled (which forces every request onto the timed
-//     path), and slow requests get one after the fact for the warning.
+//     path), and slow requests get one after the fact for the warning;
+//   - trace adoption costs the untraced path one header-map index. A
+//     request carrying a valid X-Amf-Trace header (stamped by the
+//     gateway) opens a span under the gateway's trace ID, adopts that
+//     ID as its request ID (so gateway and shard log lines correlate),
+//     and rides the timed path for an exact duration — but does NOT
+//     perturb the latency histograms: the 1-in-8 sampling counter
+//     still decides which requests are recorded, traced or not.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	if !s.instrument {
 		s.mux.HandleFunc(pattern, h)
@@ -217,15 +229,26 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	hist := s.httpHist.With(pattern)
 	tick := new(atomic.Uint64) // per-route sampling counter
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		timed := tick.Add(1)&latencySampleMask == 1 || s.logDebug
+		// net/http stores parsed request headers under canonical keys,
+		// so direct map indexes replace Header.Get's canonicalization.
+		var sp *trace.Span
+		if vals := r.Header[trace.Header]; len(vals) > 0 {
+			if id, parent, ok := trace.ParseHeader(vals[0]); ok {
+				sp = s.traces.Start(id, parent, pattern)
+				r = r.WithContext(trace.NewContext(r.Context(), sp))
+			}
+		}
+		sampled := tick.Add(1)&latencySampleMask == 1
+		timed := sampled || s.logDebug || sp != nil
 		var rid string
 		var start time.Time
 		if timed {
 			start = time.Now()
-			// net/http stores parsed request headers under canonical
-			// keys, so a direct map index replaces Header.Get's
-			// canonicalization pass.
-			if vals := r.Header[requestIDHeader]; len(vals) > 0 {
+			if sp != nil {
+				// Adopt the gateway's trace ID as the request ID: one
+				// identifier names the request at every hop.
+				rid = sp.Trace.String()
+			} else if vals := r.Header[requestIDHeader]; len(vals) > 0 {
 				rid = vals[0]
 			}
 			if rid == "" && s.logDebug {
@@ -242,14 +265,23 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			return
 		}
 		d := time.Since(start)
-		hist.ObserveDurationN(d, latencySampleMask+1)
+		if sampled || s.logDebug {
+			hist.ObserveDurationN(d, latencySampleMask+1)
+		}
+		sp.Finish(d)
 		switch {
 		case d >= s.slowThreshold:
 			if rid == "" {
 				rid = s.nextRequestID()
 			}
-			s.log.Warn("slow request",
-				"route", pattern, "request_id", rid, "duration", d)
+			if sp != nil {
+				s.log.Warn("slow request", "route", pattern,
+					"request_id", rid, "duration", d,
+					"trace", "/debug/traces?trace="+sp.Trace.String())
+			} else {
+				s.log.Warn("slow request",
+					"route", pattern, "request_id", rid, "duration", d)
+			}
 		case s.logDebug:
 			s.log.Debug("request",
 				"route", pattern, "request_id", rid, "duration", d)

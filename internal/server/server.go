@@ -13,6 +13,7 @@ import (
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/obs/trace"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/registry"
 	"github.com/qoslab/amf/internal/store"
@@ -68,6 +69,7 @@ type Server struct {
 	inflight      *obs.Gauge
 	statusClass   [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
 	acc           *obs.AccuracyTracker
+	traces        *trace.Recorder
 	log           *slog.Logger
 	logDebug      bool // cached log.Enabled(debug); refreshed by SetLogger
 	slowThreshold time.Duration
@@ -146,6 +148,9 @@ func NewWithEngine(eng *engine.Engine, opts ...Option) *Server {
 		opt(s)
 	}
 	s.logDebug = s.log.Enabled(context.Background(), slog.LevelDebug)
+	// The trace recorder shares the slow-request threshold: a span worth a
+	// slow-log warning is a span worth retaining past ring churn.
+	s.traces = trace.NewRecorder(trace.Config{SlowThreshold: s.slowThreshold})
 	s.base = s.now()
 	s.mux = http.NewServeMux()
 	s.buildMetrics()
@@ -194,6 +199,10 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Traces exposes the span recorder behind GET /debug/traces for
+// embedders and tests.
+func (s *Server) Traces() *trace.Recorder { return s.traces }
+
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("GET /readyz", s.handleReady)
@@ -212,6 +221,9 @@ func (s *Server) routes() {
 	s.historyRoutes()
 	s.metricsRoutes()
 	s.flaggedRoutes()
+	// Outside the middleware, like pprof: a debug scrape should not
+	// pollute the request histograms it exists to explain.
+	s.mux.Handle("GET /debug/traces", s.traces)
 }
 
 // RunReplay keeps the model converging between observations: every
@@ -354,8 +366,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.scoreSamples(samples)
 	// Synchronous apply + republish: the HTTP observe API promises
 	// read-your-writes (a client that uploads a measurement sees it
-	// reflected in the next predict call).
-	s.eng.ObserveAll(samples)
+	// reflected in the next predict call). Traced requests additionally
+	// get the engine's per-stage breakdown as span annotations.
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		tm := s.eng.ObserveAllTraced(samples)
+		sp.Annotate("engine_queue_wait", tm.QueueWait)
+		sp.Annotate("engine_journal", tm.Journal)
+		sp.Annotate("engine_apply", tm.Apply)
+		sp.Annotate("engine_publish", tm.Publish)
+	} else {
+		s.eng.ObserveAll(samples)
+	}
 	resp.Accepted = len(samples)
 	s.metrics.observations.Add(int64(resp.Accepted))
 	s.writeJSON(w, http.StatusOK, resp)
