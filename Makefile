@@ -10,15 +10,27 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/qoslab/amf/internal/obs.buildVersion=$(VERSION) \
            -X github.com/qoslab/amf/internal/obs.buildCommit=$(COMMIT)
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster test-cluster lint-metrics fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster bench-kernels test-cluster test-noasm build-arm64 lint-metrics fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
 # the metrics-docs lint, plus the race detector over the concurrent
 # internals and the observability smoke check.
-ci: build vet test lint-metrics bench-smoke test-cluster
+ci: build vet test lint-metrics bench-smoke test-cluster test-noasm build-arm64
 	$(GO) test -race ./internal/...
+
+# Portable-kernel leg: the SIMD assembly (internal/matrix) ships with a
+# pure-Go fallback behind the noasm build tag; this proves the fallback
+# (and everything ranking on top of it) still passes, which is what
+# non-amd64/arm64 targets actually run.
+test-noasm:
+	$(GO) test -tags noasm ./internal/matrix/ ./internal/core/
+
+# Cross-compile leg for the NEON kernels: arm64 has no execution
+# environment in CI, but the assembly must at least assemble and link.
+build-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
 build:
 	$(GO) build -ldflags "$(LDFLAGS)" ./...
@@ -53,11 +65,20 @@ bench:
 bench-smoke: vet
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
-	$(GO) test -run=NONE -bench=BenchmarkDotBatch -benchtime=0.2s ./internal/matrix/
-	$(GO) test -run=NONE -bench='BenchmarkTopK/(legacy_rank_sort|heap)/10k' -benchmem -benchtime=0.2s ./internal/core/
+	$(GO) test -run=NONE -bench='BenchmarkDotBatch/paired/rows=1000$$' -benchtime=0.2s ./internal/matrix/
+	$(GO) test -run=NONE -bench='BenchmarkTopK/10k' -benchmem -benchtime=0.2s ./internal/core/
 	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput/workers=(1|4)$$' -benchtime=0.2s ./internal/core/
 	$(GO) test -run=NONE -bench='BenchmarkObserveJournal/journal=(none|interval)' -benchtime=0.2s ./internal/engine/
 	$(GO) test -run=NONE -bench='BenchmarkWALAppend/(off|interval)' -benchtime=0.2s ./internal/store/
+
+# SIMD kernel comparison (scalar vs AVX2/NEON vs float32, plus the
+# blocked multi-query coalescing traversal), archived as machine-
+# readable JSON (BENCH_kernels.json). Every comparison is paired-
+# interleaved — arms share one timing loop — so the *-speedup-x extras
+# are immune to CPU frequency drift between runs.
+bench-kernels:
+	$(GO) test -run=NONE -bench='BenchmarkDot$$|BenchmarkDotBatch|BenchmarkMulBatch' -benchmem -benchtime=0.5s ./internal/matrix/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_kernels.json
 
 # Full ranking fast-path benchmark, archived as machine-readable JSON
 # (BENCH_rank.json) via the benchjson parser. Compare runs across

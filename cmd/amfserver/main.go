@@ -24,6 +24,7 @@ import (
 	"github.com/qoslab/amf/internal/dataset"
 	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/ingest"
+	"github.com/qoslab/amf/internal/matrix"
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/qosdb"
 	"github.com/qoslab/amf/internal/server"
@@ -62,9 +63,12 @@ func run(args []string) error {
 
 		queue        = fs.Int("queue", 0, "ingest queue slots per shard (0 = engine default)")
 		trainWorkers = fs.Int("train-workers", 1, "parallel SGD training workers (rounded down to a power of two, max 64); 1 keeps the serial deterministic writer")
-		rankPar     = fs.Int("rank-parallel-threshold", 4096, "candidate-set size at which /api/v1/rank fans out across cores (<=0 disables)")
-		publishIvl  = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
-		publishEach = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
+		rankPar      = fs.Int("rank-parallel-threshold", 4096, "candidate-set size at which /api/v1/rank fans out across cores (<=0 disables)")
+		publishIvl   = fs.Duration("publish-interval", 0, "max staleness of the published read view (0 = engine default)")
+		publishEach  = fs.Int("publish-every", 0, "republish the read view after this many model updates (0 = engine default)")
+		arenaPrec    = fs.String("arena-precision", "f64", "published view factor-arena precision: f64, or f32 (half the rank-scan memory traffic, ~1e-7 relative rounding at publish)")
+		coalesceWin  = fs.Duration("rank-coalesce-window", 0, "batch concurrent full-scan /api/v1/rank requests arriving within this window into one arena pass (0 disables)")
+		coalesceMax  = fs.Int("rank-coalesce-max", 16, "max full-scan rank requests per coalesced batch (a full batch flushes before the window expires)")
 
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, or error")
 		logFormat  = fs.String("log-format", "text", "log format: text or json")
@@ -98,16 +102,28 @@ func run(args []string) error {
 		return err
 	}
 
+	var arenaF32 bool
+	switch *arenaPrec {
+	case "f64":
+	case "f32":
+		arenaF32 = true
+	default:
+		return fmt.Errorf("unknown arena precision %q (want f64 or f32)", *arenaPrec)
+	}
+
 	eng := engine.New(model, engine.Config{
 		QueueSize:       *queue,
 		PublishInterval: *publishIvl,
 		PublishEvery:    *publishEach,
 		TrainWorkers:    *trainWorkers,
+		ArenaFloat32:    arenaF32,
 	})
 	svc := server.NewWithEngine(eng, server.WithLogger(logger))
 	defer svc.Close()
 	svc.MetricsCompat = *metrCompat
 	svc.RankParallelThreshold = *rankPar
+	svc.RankCoalesceWindow = *coalesceWin
+	svc.RankCoalesceMax = *coalesceMax
 	if *pprofFlag {
 		svc.EnablePprof()
 	}
@@ -252,7 +268,9 @@ func run(args []string) error {
 		"expiry", *expiry, "replay_interval", *replay, "replay_batch", *batch,
 		"queue", *queue, "train_workers", eng.TrainWorkers(),
 		"publish_interval", *publishIvl, "publish_every", *publishEach,
-		"rank_parallel_threshold", *rankPar,
+		"rank_parallel_threshold", *rankPar, "simd", matrix.SIMD(),
+		"arena_precision", *arenaPrec,
+		"rank_coalesce_window", *coalesceWin, "rank_coalesce_max", *coalesceMax,
 		"role", *role, "leader", *leaderURL, "leader_data", *leaderData,
 		"wal", *wal, "state", *state, "data_dir", *dataDir,
 		"fsync", sync.String(), "snapshot_interval", *snapIvl, "wal_segment_bytes", *walSegBytes,

@@ -4,10 +4,11 @@ import "sort"
 
 // shardArena is the frozen SoA (structure-of-arrays) image of one view
 // shard: every entity's latent factor vector packed into a single
-// contiguous row-major []float64, with parallel id and error slices. It
-// is built at publish time and immutable afterwards — the shard map's
-// viewEntity.vec fields alias rows of vecs, so map-keyed reads (Predict)
-// and arena scans (TopK, DotBatch) see the same storage.
+// contiguous row-major block, with parallel id and error slices. It is
+// built at publish time and immutable afterwards — the shard map's
+// viewEntity.vec/vec32 fields alias rows of the block, so map-keyed
+// reads (Predict) and arena scans (TopK, DotBatch) see the same
+// storage.
 //
 // The arena is what makes candidate ranking a streaming problem instead
 // of a pointer chase: ranking n candidates touches n×rank consecutive
@@ -15,49 +16,87 @@ import "sort"
 // the GC heap. Arenas are shared RCU-style across view refreshes exactly
 // like the shard maps — a refresh rebuilds only the arenas of dirty
 // shards and shares the rest with the previous view by pointer.
+//
+// Exactly one of vecs/vecs32 is non-nil, per the view's arena precision
+// (Model.SetArenaFloat32): float64 is the default; float32 halves the
+// bytes per row the rank scan streams, at a one-time rounding of the
+// published factors.
 type shardArena struct {
-	rank int
-	ids  []int     // entity IDs, ascending (deterministic layout)
-	vecs []float64 // len(ids)*rank; row i is the factor vector of ids[i]
-	errs []float64 // frozen error trackers, parallel to ids
+	rank   int
+	ids    []int     // entity IDs, ascending (deterministic layout)
+	vecs   []float64 // len(ids)*rank; row i is the factor vector of ids[i]
+	vecs32 []float32 // float32 twin; set instead of vecs in f32 views
+	errs   []float64 // frozen error trackers, parallel to ids
 }
 
 // row returns the factor vector of arena row i as a full-capacity-capped
-// subslice of the contiguous block.
+// subslice of the contiguous block (float64 arenas only).
 func (a *shardArena) row(i int) []float64 {
 	lo := i * a.rank
 	hi := lo + a.rank
 	return a.vecs[lo:hi:hi]
 }
 
-// freezeShardFromModel builds one shard's map + arena from live model
-// entities. ids may be in any order; it is sorted in place.
-func freezeShardFromModel(src map[int]*entity, ids []int, rank int) (map[int]viewEntity, *shardArena) {
-	sort.Ints(ids)
+// row32 is row for float32 arenas.
+func (a *shardArena) row32(i int) []float32 {
+	lo := i * a.rank
+	hi := lo + a.rank
+	return a.vecs32[lo:hi:hi]
+}
+
+// newShardArena allocates the block in the requested precision.
+func newShardArena(ids []int, rank int, f32 bool) *shardArena {
 	a := &shardArena{
 		rank: rank,
 		ids:  ids,
-		vecs: make([]float64, len(ids)*rank),
 		errs: make([]float64, len(ids)),
 	}
+	if f32 {
+		a.vecs32 = make([]float32, len(ids)*rank)
+	} else {
+		a.vecs = make([]float64, len(ids)*rank)
+	}
+	return a
+}
+
+// freezeRow writes the model's float64 factors into arena row i (rounding
+// in f32 mode) and returns the viewEntity aliasing that row.
+func (a *shardArena) freezeRow(i int, vec []float64, errVal float64, updates int) viewEntity {
+	if a.vecs32 != nil {
+		row := a.row32(i)
+		for j, x := range vec {
+			row[j] = float32(x)
+		}
+		return viewEntity{vec32: row, err: errVal, updates: updates}
+	}
+	row := a.row(i)
+	copy(row, vec)
+	return viewEntity{vec: row, err: errVal, updates: updates}
+}
+
+// freezeShardFromModel builds one shard's map + arena from live model
+// entities. ids may be in any order; it is sorted in place.
+func freezeShardFromModel(src map[int]*entity, ids []int, rank int, f32 bool) (map[int]viewEntity, *shardArena) {
+	sort.Ints(ids)
+	a := newShardArena(ids, rank, f32)
 	sh := make(map[int]viewEntity, len(ids))
 	for i, id := range ids {
 		e := src[id]
-		row := a.row(i)
-		copy(row, e.vec)
 		a.errs[i] = e.err.Value()
-		sh[id] = viewEntity{vec: row, err: a.errs[i], updates: e.updates}
+		sh[id] = a.freezeRow(i, e.vec, a.errs[i], e.updates)
 	}
 	return sh, a
 }
 
 // rebuildArena repacks shard si's map entries into a fresh arena and
-// re-points every viewEntity.vec at the new contiguous rows. Called by
+// re-points every viewEntity row at the new contiguous block. Called by
 // refreshTable after shard-map surgery: cloned entries still alias the
 // previous view's arena and freshly frozen entries own private copies;
 // after rebuild all rows live in one block again. The previous arena is
-// untouched (older views keep reading it).
-func rebuildArena(t *viewTable, si, rank int) {
+// untouched (older views keep reading it). The table's precision mode
+// is uniform — refreshTable full-rebuilds on a mode flip — so entries
+// here carry vectors in the same precision the new arena uses.
+func rebuildArena(t *viewTable, si, rank int, f32 bool) {
 	sh := t.shards[si]
 	if len(sh) == 0 {
 		t.arenas[si] = nil
@@ -68,18 +107,19 @@ func rebuildArena(t *viewTable, si, rank int) {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	a := &shardArena{
-		rank: rank,
-		ids:  ids,
-		vecs: make([]float64, len(ids)*rank),
-		errs: make([]float64, len(ids)),
-	}
+	a := newShardArena(ids, rank, f32)
 	for i, id := range ids {
 		e := sh[id]
-		row := a.row(i)
-		copy(row, e.vec)
 		a.errs[i] = e.err
-		sh[id] = viewEntity{vec: row, err: e.err, updates: e.updates}
+		if f32 {
+			row := a.row32(i)
+			copy(row, e.vec32)
+			sh[id] = viewEntity{vec32: row, err: e.err, updates: e.updates}
+		} else {
+			row := a.row(i)
+			copy(row, e.vec)
+			sh[id] = viewEntity{vec: row, err: e.err, updates: e.updates}
+		}
 	}
 	t.arenas[si] = a
 }

@@ -50,8 +50,15 @@ func betterScored(a, b scored, lowerIsBetter bool) bool {
 // heap and a values buffer for arena-scan batches. Pooled via pointer so
 // the steady-state rank path performs zero allocations after warmup.
 type rankScratch struct {
-	heap []scored
-	vals []float64
+	heap   []scored
+	vals   []float64
+	vals32 []float32
+	// qs/dst are the packed query and score buffers of the multi-query
+	// batch scan (topk_batch.go); idle otherwise.
+	qs    []float64
+	dst   []float64
+	qs32  []float32
+	dst32 []float32
 }
 
 var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
@@ -159,7 +166,7 @@ func (v *PredictView) AppendTopK(dst []Ranked, user int, candidates []int, k int
 			unknown++
 			continue
 		}
-		h = heapPush(h, scored{service: c, key: matrix.Dot(u.vec, s.vec)}, k, lowerIsBetter)
+		h = heapPush(h, scored{service: c, key: veDot(u, s)}, k, lowerIsBetter)
 	}
 	dst = drainInto(dst, h, lowerIsBetter, v.tr)
 	sc.heap = h[:0]
@@ -224,7 +231,7 @@ func (v *PredictView) Best(user int, candidates []int, lowerIsBetter bool) (Rank
 		if !ok {
 			continue
 		}
-		cand := scored{service: c, key: matrix.Dot(u.vec, s.vec)}
+		cand := scored{service: c, key: veDot(u, s)}
 		if !found || betterScored(cand, best, lowerIsBetter) {
 			best, found = cand, true
 		}
@@ -258,7 +265,7 @@ func (v *PredictView) PredictBatch(user int, services []int, dst []float64) erro
 			dst[i] = nan
 			continue
 		}
-		dst[i] = v.tr.Backward(transform.Sigmoid(matrix.Dot(u.vec, s.vec)))
+		dst[i] = v.tr.Backward(transform.Sigmoid(veDot(u, s)))
 	}
 	return nil
 }
@@ -323,7 +330,7 @@ func (v *PredictView) TopKParallel(user int, candidates []int, k int, lowerIsBet
 					unk = append(unk, c)
 					continue
 				}
-				h = heapPush(h, scored{service: c, key: matrix.Dot(u.vec, s.vec)}, k, lowerIsBetter)
+				h = heapPush(h, scored{service: c, key: veDot(u, s)}, k, lowerIsBetter)
 			}
 			top := make([]scored, len(h))
 			heapDrain(h, top, lowerIsBetter)
@@ -404,13 +411,11 @@ func (v *PredictView) TopKAll(user int, k int, lowerIsBetter bool, workers int) 
 	if workers <= 1 || v.services.count < 2*minParallelChunk {
 		sc := rankScratchPool.Get().(*rankScratch)
 		h := sc.heap[:0]
-		vals := sc.vals
 		for si := range v.services.arenas {
-			h, vals = scanArenaTopK(v.services.arenas[si], u.vec, h, vals, k, lowerIsBetter)
+			h = scanArenaTopK(v.services.arenas[si], u, h, sc, k, lowerIsBetter)
 		}
 		out := drainInto(make([]Ranked, 0, len(h)), h, lowerIsBetter, v.tr)
 		sc.heap = h[:0]
-		sc.vals = vals
 		rankScratchPool.Put(sc)
 		return out
 	}
@@ -423,15 +428,13 @@ func (v *PredictView) TopKAll(user int, k int, lowerIsBetter bool, workers int) 
 			defer wg.Done()
 			sc := rankScratchPool.Get().(*rankScratch)
 			h := sc.heap[:0]
-			vals := sc.vals
 			for si := w; si < viewShardCount; si += workers {
-				h, vals = scanArenaTopK(v.services.arenas[si], u.vec, h, vals, k, lowerIsBetter)
+				h = scanArenaTopK(v.services.arenas[si], u, h, sc, k, lowerIsBetter)
 			}
 			top := make([]scored, len(h))
 			heapDrain(h, top, lowerIsBetter)
 			tops[w] = top
 			sc.heap = h[:0]
-			sc.vals = vals
 			rankScratchPool.Put(sc)
 		}(w)
 	}
@@ -457,20 +460,36 @@ func (v *PredictView) TopKAll(user int, k int, lowerIsBetter bool, workers int) 
 	return finishRanked(make([]Ranked, 0, len(merged)), merged, v.tr)
 }
 
-// scanArenaTopK streams one shard arena through DotBatch and pushes every
-// row into the bounded heap. vals is the reusable batch buffer; both the
-// (possibly grown) heap and buffer are returned for pooling.
-func scanArenaTopK(a *shardArena, q []float64, h []scored, vals []float64, k int, lowerIsBetter bool) ([]scored, []float64) {
+// scanArenaTopK streams one shard arena through the batch kernel of the
+// view's precision and pushes every row into the bounded heap. The
+// scratch's vals buffers are grown in place; the (possibly grown) heap
+// is returned for pooling. Keys from the float32 kernel widen exactly
+// to float64, so heap ordering logic is precision-independent — and
+// because a single-row DotBatch is bit-identical to Dot (kernels.go),
+// the arena path agrees exactly with the candidate path in both modes.
+func scanArenaTopK(a *shardArena, u viewEntity, h []scored, sc *rankScratch, k int, lowerIsBetter bool) []scored {
 	if a == nil || len(a.ids) == 0 {
-		return h, vals
+		return h
 	}
-	if cap(vals) < len(a.ids) {
-		vals = make([]float64, len(a.ids))
+	n := len(a.ids)
+	if a.vecs32 != nil {
+		if cap(sc.vals32) < n {
+			sc.vals32 = make([]float32, n)
+		}
+		vals := sc.vals32[:n]
+		matrix.DotBatch32(vals, a.vecs32, u.vec32)
+		for i, key := range vals {
+			h = heapPush(h, scored{service: a.ids[i], key: float64(key)}, k, lowerIsBetter)
+		}
+		return h
 	}
-	vals = vals[:len(a.ids)]
-	matrix.DotBatch(vals, a.vecs, q)
+	if cap(sc.vals) < n {
+		sc.vals = make([]float64, n)
+	}
+	vals := sc.vals[:n]
+	matrix.DotBatch(vals, a.vecs, u.vec)
 	for i, key := range vals {
 		h = heapPush(h, scored{service: a.ids[i], key: key}, k, lowerIsBetter)
 	}
-	return h, vals
+	return h
 }

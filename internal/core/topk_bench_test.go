@@ -3,18 +3,26 @@ package core
 import (
 	"sort"
 	"testing"
+	"time"
 
 	"github.com/qoslab/amf/internal/transform"
 )
 
-// Benchmarks for the candidate-ranking fast path (ISSUE 3). The "legacy"
-// series reproduces the pre-change serving path — per-candidate map
-// lookup, naive (non-unrolled) dot product, Sigmoid+Backward transform on
-// EVERY candidate, full O(n log n) sort.Slice, then truncate to k — so
-// before/after numbers come from one binary on one machine. The "topk"
-// series is the shipped path: unrolled dot, bounded heap selection, the
-// transform paid only for the k survivors, pooled scratch (0 allocs/op
-// after warmup).
+// Benchmarks for the candidate-ranking fast path (ISSUE 3, reshaped by
+// ISSUE 8 into paired-interleaved form). Every arm of a comparison runs
+// inside the SAME timing loop, per-arm latencies are collected and the
+// p50s reported as metrics — so single-core CI frequency drift between
+// two separately-run benchmarks can't fake (or hide) a speedup. The
+// headline ns/op of each benchmark is the sum of all its arms and is
+// not meaningful on its own; read the *-p50-ns/op and *-speedup-x
+// metrics instead (cmd/benchjson archives them under "extra").
+//
+// The "legacy" arm reproduces the pre-change serving path — per-
+// candidate map lookup, naive (non-unrolled) dot product, Sigmoid+
+// Backward transform on EVERY candidate, full O(n log n) sort.Slice,
+// then truncate to k. The "heap" arm is the shipped candidate path
+// (AppendTopK), "scan" is the full-catalog arena path (TopKAll), and
+// "parallel" is TopKParallel with 4 workers.
 //
 //	go test -run=NONE -bench=BenchmarkTopK -benchmem ./internal/core/
 
@@ -67,69 +75,140 @@ func legacyRank(v *PredictView, user int, candidates []int, k int, lowerIsBetter
 	return ranked
 }
 
+// p50Dur returns the median of a sample of per-iteration durations.
+func p50Dur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
 func BenchmarkTopK(b *testing.B) {
 	const k = 10
 	for _, n := range []int{1000, 10000, 100000} {
 		v, candidates := benchView(b, n)
 		name := sizeLabel(n)
 
-		b.Run("legacy_rank_sort/"+name, func(b *testing.B) {
-			dst := make([]Ranked, 0, n)
+		b.Run(name, func(b *testing.B) {
+			legacyDst := make([]Ranked, 0, n)
+			heapDst := make([]Ranked, 0, k)
+			heapDst, _ = v.AppendTopK(heapDst[:0], 0, candidates, k, true) // warm pool
+			v.TopKAll(0, k, true, 1)                                      // warm pool
+			legacyNs := make([]time.Duration, 0, b.N)
+			heapNs := make([]time.Duration, 0, b.N)
+			scanNs := make([]time.Duration, 0, b.N)
+			parNs := make([]time.Duration, 0, b.N)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dst = legacyRank(v, 0, candidates, k, true, dst)
-			}
-		})
-
-		b.Run("heap/"+name, func(b *testing.B) {
-			dst := make([]Ranked, 0, k)
-			dst, _ = v.AppendTopK(dst[:0], 0, candidates, k, true) // warm pool
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dst, _ = v.AppendTopK(dst[:0], 0, candidates, k, true)
-			}
-		})
-
-		b.Run("parallel/"+name, func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				v.TopKParallel(0, candidates, k, true, 4)
-			}
-		})
-
-		b.Run("full_scan_arena/"+name, func(b *testing.B) {
-			v.TopKAll(0, k, true, 1) // warm pool (vals buffer)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				legacyDst = legacyRank(v, 0, candidates, k, true, legacyDst)
+				t1 := time.Now()
+				heapDst, _ = v.AppendTopK(heapDst[:0], 0, candidates, k, true)
+				t2 := time.Now()
 				v.TopKAll(0, k, true, 1)
+				t3 := time.Now()
+				v.TopKParallel(0, candidates, k, true, 4)
+				t4 := time.Now()
+				legacyNs = append(legacyNs, t1.Sub(t0))
+				heapNs = append(heapNs, t2.Sub(t1))
+				scanNs = append(scanNs, t3.Sub(t2))
+				parNs = append(parNs, t4.Sub(t3))
+			}
+			b.StopTimer()
+			legacyP50 := p50Dur(legacyNs)
+			heapP50 := p50Dur(heapNs)
+			scanP50 := p50Dur(scanNs)
+			parP50 := p50Dur(parNs)
+			b.ReportMetric(float64(legacyP50.Nanoseconds()), "legacy-p50-ns/op")
+			b.ReportMetric(float64(heapP50.Nanoseconds()), "heap-p50-ns/op")
+			b.ReportMetric(float64(scanP50.Nanoseconds()), "scan-p50-ns/op")
+			b.ReportMetric(float64(parP50.Nanoseconds()), "parallel-p50-ns/op")
+			if heapP50 > 0 {
+				b.ReportMetric(float64(legacyP50)/float64(heapP50), "heap-speedup-x")
+			}
+			if scanP50 > 0 {
+				b.ReportMetric(float64(legacyP50)/float64(scanP50), "scan-speedup-x")
+			}
+		})
+	}
+}
+
+// BenchmarkTopKAllBatch is the coalescing acceptance benchmark: Q
+// concurrent full-catalog rankings served by one TopKAllBatch pass
+// versus the same Q queries as independent serial TopKAll scans, paired
+// in one timing loop. The win is DRAM economics — the batch streams
+// each arena block from memory once for all Q queries — so it grows
+// with Q and with catalog size.
+func BenchmarkTopKAllBatch(b *testing.B) {
+	const n = 100000
+	const k = 10
+	v, _ := benchView(b, n)
+	for _, nq := range []int{4, 8} {
+		queries := make([]RankQuery, nq)
+		for i := range queries {
+			// topkTestModel trains users 0 and 1; the DRAM economics of
+			// the batch don't depend on query-vector diversity.
+			queries[i] = RankQuery{User: i % 2, K: k, LowerIsBetter: i%3 == 0}
+		}
+		b.Run("q"+itoaBench(nq), func(b *testing.B) {
+			v.TopKAllBatch(queries) // warm pool
+			serialNs := make([]time.Duration, 0, b.N)
+			batchNs := make([]time.Duration, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for _, q := range queries {
+					v.TopKAll(q.User, q.K, q.LowerIsBetter, 1)
+				}
+				t1 := time.Now()
+				v.TopKAllBatch(queries)
+				t2 := time.Now()
+				serialNs = append(serialNs, t1.Sub(t0))
+				batchNs = append(batchNs, t2.Sub(t1))
+			}
+			b.StopTimer()
+			serialP50 := p50Dur(serialNs)
+			batchP50 := p50Dur(batchNs)
+			b.ReportMetric(float64(serialP50.Nanoseconds()), "serial-p50-ns/op")
+			b.ReportMetric(float64(batchP50.Nanoseconds()), "batch-p50-ns/op")
+			if batchP50 > 0 {
+				b.ReportMetric(float64(serialP50)/float64(batchP50), "coalesce-speedup-x")
 			}
 		})
 	}
 }
 
 // BenchmarkPredictBatchView measures the batched point-prediction path
-// against per-call Predict on the same view.
+// against per-call Predict on the same view, paired in one loop.
 func BenchmarkPredictBatchView(b *testing.B) {
 	v, services := benchView(b, 10000)
 	dst := make([]float64, len(services))
-	b.Run("batch", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			_ = v.PredictBatch(0, services, dst)
+	batchNs := make([]time.Duration, 0, 1024)
+	perCallNs := make([]time.Duration, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		_ = v.PredictBatch(0, services, dst)
+		t1 := time.Now()
+		for _, s := range services {
+			dst[0], _ = v.Predict(0, s)
 		}
-	})
-	b.Run("per_call", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, s := range services {
-				dst[0], _ = v.Predict(0, s)
-			}
-		}
-	})
+		t2 := time.Now()
+		batchNs = append(batchNs, t1.Sub(t0))
+		perCallNs = append(perCallNs, t2.Sub(t1))
+	}
+	b.StopTimer()
+	batchP50 := p50Dur(batchNs)
+	perCallP50 := p50Dur(perCallNs)
+	b.ReportMetric(float64(batchP50.Nanoseconds()), "batch-p50-ns/op")
+	b.ReportMetric(float64(perCallP50.Nanoseconds()), "per-call-p50-ns/op")
+	if batchP50 > 0 {
+		b.ReportMetric(float64(perCallP50)/float64(batchP50), "batch-speedup-x")
+	}
 }
 
 func sizeLabel(n int) string {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/qoslab/amf/internal/matrix"
 	"github.com/qoslab/amf/internal/transform"
 )
 
@@ -21,10 +22,28 @@ const viewShardCount = 64
 // a private copy of the latent factor vector plus the tracked error and
 // update count frozen at publish time. Once a viewEntity is reachable
 // from a published PredictView it is never written again.
+//
+// Exactly one of vec/vec32 is set, matching the view's arena precision
+// (Model.SetArenaFloat32): vec32 carries the factors rounded to float32
+// in f32 views, and every read-side prediction dispatches on which one
+// is present (veDot).
 type viewEntity struct {
 	vec     []float64
+	vec32   []float32
 	err     float64
 	updates int
+}
+
+// veDot is the precision-dispatching inner product between two frozen
+// entities of the same view: the float64 kernel over default arenas,
+// the float32 kernel when the view was published with float32 arenas.
+// Both entities always carry the same precision — they come from the
+// same view, and a view's precision is uniform.
+func veDot(u, s viewEntity) float64 {
+	if u.vec32 != nil {
+		return float64(matrix.Dot32(u.vec32, s.vec32))
+	}
+	return matrix.Dot(u.vec, s.vec)
 }
 
 // viewTable is one side (users or services) of a PredictView: a fixed
@@ -85,11 +104,18 @@ type PredictView struct {
 	services viewTable
 	updates  int64
 	version  uint64
+	// f32 records the arena precision this view was frozen with; a
+	// refresh across a mode flip falls back to a full rebuild.
+	f32 bool
 	// owner identifies the model this view was built from, so that
 	// RefreshView can detect a model swap (Restore) and fall back to a
 	// full rebuild. Readers never touch it.
 	owner *Model
 }
+
+// ArenaFloat32 reports whether this view's factor arenas were frozen as
+// float32 (Model.SetArenaFloat32).
+func (v *PredictView) ArenaFloat32() bool { return v.f32 }
 
 // EnableViewTracking turns on recording of entities touched by updates
 // (Observe, ReplayStep, RemoveUser/RemoveService) so that RefreshView can
@@ -138,14 +164,15 @@ func (m *Model) BuildView() *PredictView {
 		tr:      m.tr,
 		updates: m.updates,
 		version: 1,
+		f32:     m.arenaF32,
 		owner:   m,
 	}
-	buildTable(&v.users, m.users, m.cfg.Rank)
-	buildTable(&v.services, m.services, m.cfg.Rank)
+	buildTable(&v.users, m.users, m.cfg.Rank, m.arenaF32)
+	buildTable(&v.services, m.services, m.cfg.Rank, m.arenaF32)
 	return v
 }
 
-func buildTable(dst *viewTable, src *entityTable, rank int) {
+func buildTable(dst *viewTable, src *entityTable, rank int, f32 bool) {
 	// Model table shards and view shards share the same hash (see
 	// table.go), so each model shard freezes into its view shard directly.
 	total := 0
@@ -158,13 +185,23 @@ func buildTable(dst *viewTable, src *entityTable, rank int) {
 		for id := range sh {
 			ids = append(ids, id)
 		}
-		dst.shards[si], dst.arenas[si] = freezeShardFromModel(sh, ids, rank)
+		dst.shards[si], dst.arenas[si] = freezeShardFromModel(sh, ids, rank, f32)
 		total += len(ids)
 	}
 	dst.count = total
 }
 
-func freezeEntity(e *entity) viewEntity {
+// freezeEntity makes a private, view-precision copy of a live model
+// entity. The copy is temporary — rebuildArena repacks it into the
+// shard's fresh arena right after the map surgery.
+func freezeEntity(e *entity, f32 bool) viewEntity {
+	if f32 {
+		vec := make([]float32, len(e.vec))
+		for i, x := range e.vec {
+			vec[i] = float32(x)
+		}
+		return viewEntity{vec32: vec, err: e.err.Value(), updates: e.updates}
+	}
 	vec := make([]float64, len(e.vec))
 	copy(vec, e.vec)
 	return viewEntity{vec: vec, err: e.err.Value(), updates: e.updates}
@@ -181,7 +218,9 @@ func (m *Model) RefreshView(prev *PredictView) *PredictView {
 	if prev == nil {
 		return m.BuildView()
 	}
-	if prev.owner != m || m.dirtyUsers == nil {
+	if prev.owner != m || m.dirtyUsers == nil || prev.f32 != m.arenaF32 {
+		// Model swap, tracking off, or an arena-precision flip: shards
+		// can't be shared across any of these, so rebuild from scratch.
 		v := m.BuildView()
 		v.version = prev.version + 1
 		return v
@@ -193,10 +232,11 @@ func (m *Model) RefreshView(prev *PredictView) *PredictView {
 		services: prev.services, // ditto
 		updates:  m.updates,
 		version:  prev.version + 1,
+		f32:      m.arenaF32,
 		owner:    m,
 	}
-	refreshTable(&v.users, m.users, m.dirtyUsers, m.cfg.Rank)
-	refreshTable(&v.services, m.services, m.dirtyServices, m.cfg.Rank)
+	refreshTable(&v.users, m.users, m.dirtyUsers, m.cfg.Rank, m.arenaF32)
+	refreshTable(&v.services, m.services, m.dirtyServices, m.cfg.Rank, m.arenaF32)
 	m.clearDirty()
 	return v
 }
@@ -207,7 +247,7 @@ func (m *Model) RefreshView(prev *PredictView) *PredictView {
 // Untouched shards keep sharing both map and arena with the previous
 // view. Dirty sets are sharded with the same hash as both tables, so the
 // walk is per-shard: clone once, patch every dirty id, rebuild the arena.
-func refreshTable(dst *viewTable, src *entityTable, dirty *dirtySet, rank int) {
+func refreshTable(dst *viewTable, src *entityTable, dirty *dirtySet, rank int, f32 bool) {
 	changed := false
 	for si := range dirty.shards {
 		ids := dirty.shards[si]
@@ -222,13 +262,13 @@ func refreshTable(dst *viewTable, src *entityTable, dirty *dirtySet, rank int) {
 		modelShard := src.shards[si]
 		for id := range ids {
 			if e, ok := modelShard[id]; ok {
-				sh[id] = freezeEntity(e)
+				sh[id] = freezeEntity(e, f32)
 			} else {
 				delete(sh, id) // removed entity (churn departure)
 			}
 		}
 		dst.shards[si] = sh
-		rebuildArena(dst, si, rank)
+		rebuildArena(dst, si, rank, f32)
 		changed = true
 	}
 	if changed {
@@ -273,7 +313,7 @@ func (v *PredictView) Predict(user, service int) (float64, error) {
 	if !ok {
 		return 0, ErrUnknownService
 	}
-	g := transform.Sigmoid(dot(u.vec, s.vec))
+	g := transform.Sigmoid(veDot(u, s))
 	return v.tr.Backward(g), nil
 }
 
@@ -289,7 +329,7 @@ func (v *PredictView) PredictWithConfidence(user, service int) (value, confidenc
 	if !ok {
 		return 0, 0, ErrUnknownService
 	}
-	g := transform.Sigmoid(dot(u.vec, s.vec))
+	g := transform.Sigmoid(veDot(u, s))
 	confidence = 1 / (1 + u.err + s.err)
 	return v.tr.Backward(g), confidence, nil
 }
@@ -304,7 +344,7 @@ func (v *PredictView) PredictNormalized(user, service int) (float64, error) {
 	if !ok {
 		return 0, ErrUnknownService
 	}
-	return transform.Sigmoid(dot(u.vec, s.vec)), nil
+	return transform.Sigmoid(veDot(u, s)), nil
 }
 
 // UserError returns the user's frozen tracked error e_ui.
@@ -371,9 +411,21 @@ func (t *viewTable) snapshots() []entitySnapshot {
 		// The view's vectors are immutable and the snapshot is a value
 		// copy, so sharing the slice here would still be safe — but gob
 		// encoding aliases are cheap enough that we keep the copy for
-		// symmetry with entitiesToSnapshots.
-		vec := make([]float64, len(e.vec))
-		copy(vec, e.vec)
+		// symmetry with entitiesToSnapshots. Float32 arenas widen back
+		// to float64 exactly (every float32 is representable), so the
+		// snapshot format is precision-independent; what a round trip
+		// through an f32 view loses is the rounding at publish time,
+		// documented in DESIGN.md's ranking-fast-path section.
+		var vec []float64
+		if e.vec32 != nil {
+			vec = make([]float64, len(e.vec32))
+			for i, x := range e.vec32 {
+				vec[i] = float64(x)
+			}
+		} else {
+			vec = make([]float64, len(e.vec))
+			copy(vec, e.vec)
+		}
 		out = append(out, entitySnapshot{ID: id, Vec: vec, Err: e.err, Updates: e.updates})
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

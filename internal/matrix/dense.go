@@ -175,14 +175,17 @@ func Gram(m *Dense, byCols bool) *Dense {
 // Dot returns the inner product of two equal-length vectors.
 // It panics if the lengths differ.
 //
-// The kernel is 4-way unrolled with independent accumulators (see
-// kernels.go); at the small AMF ranks (8-16) it is at worst on par with
-// the naive loop and pipelines better at larger lengths. The summation
-// order differs from a naive left-to-right loop, so results may differ
-// by a few ULPs.
+// On CPUs with vector kernels (see SIMD) it dispatches to a single-row
+// DotBatch call, so it is bit-identical to the batch kernel; the
+// portable fallback is 4-way unrolled with independent accumulators
+// (see kernels.go). Either way the summation order differs from a naive
+// left-to-right loop, so results may differ by a few ULPs.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("matrix: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	if dotArch != nil {
+		return dotArch(a, b)
 	}
 	return dot4(a, b)
 }

@@ -1,0 +1,128 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// NEON batch inner-product kernels (see kernels.go for the dispatch
+// contract). NEON is baseline on arm64, so there is no feature check.
+//
+// Unlike the AVX2 kernels these keep a deliberately simple one-row loop
+// shape: arm64 is build-verified but not exercised by this project's CI
+// hardware, so the kernels stay close to the portable loop's structure
+// (row blocking is an amd64-only optimization until arm64 hardware is
+// in CI). Two 128-bit accumulators per row still break the FMA
+// dependence chain; with only one path per row, the bit-identity
+// invariant (Dot == one-row DotBatch, split invariance) holds
+// trivially.
+//
+// float64 reduce: V0=[a0 a1] V1=[b0 b1] -> (a0+a1)+(b0+b1).
+// float32 reduce: V0=[a0..a3] V1=[b0..b3]
+//                 -> ((a0+a1)+(a2+a3)) + ((b0+b1)+(b2+b3)).
+// (The assembler has no plain vector FADD across registers we can rely
+// on for this shape, so reduction moves lanes to scalars — fine at the
+// AMF ranks where the loop, not the reduce, dominates.)
+
+// func dotBatchNEON(dst, block, q []float64)
+TEXT ·dotBatchNEON(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD block_base+24(FP), R2
+	MOVD q_base+48(FP), R3
+	MOVD q_len+56(FP), R4
+	CBZ  R1, done64
+
+rows64:
+	MOVD R3, R5               // q cursor
+	MOVD R4, R6               // k remaining
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+
+chunk64:
+	CMP  $4, R6
+	BLT  reduce64
+	VLD1.P 32(R2), [V2.D2, V3.D2]
+	VLD1.P 32(R5), [V4.D2, V5.D2]
+	VFMLA V4.D2, V2.D2, V0.D2
+	VFMLA V5.D2, V3.D2, V1.D2
+	SUB  $4, R6
+	B    chunk64
+
+reduce64:
+	VMOV V0.D[1], V6.D[0]
+	VMOV V1.D[1], V7.D[0]
+	FADDD F6, F0, F0          // a0+a1
+	FADDD F7, F1, F1          // b0+b1
+	FADDD F1, F0, F0
+	CBZ  R6, store64
+
+tail64:
+	FMOVD.P 8(R2), F2
+	FMOVD.P 8(R5), F3
+	FMADDD F2, F0, F3, F0     // F0 += F3*F2
+	SUB  $1, R6
+	CBNZ R6, tail64
+
+store64:
+	FMOVD F0, (R0)
+	ADD  $8, R0
+	SUB  $1, R1
+	CBNZ R1, rows64
+
+done64:
+	RET
+
+// func dotBatch32NEON(dst, block, q []float32)
+TEXT ·dotBatch32NEON(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD block_base+24(FP), R2
+	MOVD q_base+48(FP), R3
+	MOVD q_len+56(FP), R4
+	CBZ  R1, done32
+
+rows32:
+	MOVD R3, R5
+	MOVD R4, R6
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+
+chunk32:
+	CMP  $8, R6
+	BLT  reduce32
+	VLD1.P 32(R2), [V2.S4, V3.S4]
+	VLD1.P 32(R5), [V4.S4, V5.S4]
+	VFMLA V4.S4, V2.S4, V0.S4
+	VFMLA V5.S4, V3.S4, V1.S4
+	SUB  $8, R6
+	B    chunk32
+
+reduce32:
+	VMOV V0.S[1], V8.S[0]
+	VMOV V0.S[2], V9.S[0]
+	VMOV V0.S[3], V10.S[0]
+	VMOV V1.S[1], V11.S[0]
+	VMOV V1.S[2], V12.S[0]
+	VMOV V1.S[3], V13.S[0]
+	FADDS F8, F0, F0          // a0+a1
+	FADDS F10, F9, F9         // a2+a3
+	FADDS F11, F1, F1         // b0+b1
+	FADDS F13, F12, F12       // b2+b3
+	FADDS F9, F0, F0          // (a0+a1)+(a2+a3)
+	FADDS F12, F1, F1         // (b0+b1)+(b2+b3)
+	FADDS F1, F0, F0
+	CBZ  R6, store32
+
+tail32:
+	FMOVS.P 4(R2), F2
+	FMOVS.P 4(R5), F3
+	FMADDS F2, F0, F3, F0
+	SUB  $1, R6
+	CBNZ R6, tail32
+
+store32:
+	FMOVS F0, (R0)
+	ADD  $4, R0
+	SUB  $1, R1
+	CBNZ R1, rows32
+
+done32:
+	RET

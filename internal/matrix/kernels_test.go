@@ -145,10 +145,15 @@ func TestMulVecToPanics(t *testing.T) {
 	}
 }
 
-// FuzzDotKernels drives the unrolled kernels against the naive loop with
-// arbitrary bit patterns, bounding the difference by the reassociation
-// ULP envelope (finite inputs only; NaN/Inf propagate in both and are
-// not comparable).
+// FuzzDotKernels drives the dispatched kernels (SIMD assembly where the
+// CPU qualifies, portable loops otherwise) against the naive loop AND
+// against the portable unrolled loop with arbitrary bit patterns,
+// bounding both differences by the reassociation ULP envelope (finite
+// inputs only; NaN/Inf propagate in both and are not comparable). The
+// asm-vs-portable comparison is the fuzz pin for the assembly: on
+// SIMD-capable hardware dot4/dot4_32 take the pure-Go path while
+// Dot/Dot32 take the dispatched one. Single-row DotBatch identity and
+// the float32 twins are checked on the same inputs.
 func FuzzDotKernels(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
 	f.Add(make([]byte, 160))
@@ -159,6 +164,8 @@ func FuzzDotKernels(f *testing.F) {
 		}
 		a := make([]float64, n)
 		b := make([]float64, n)
+		a32 := make([]float32, n)
+		b32 := make([]float32, n)
 		for i := 0; i < n; i++ {
 			a[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:]))
 			b[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
@@ -171,24 +178,50 @@ func FuzzDotKernels(f *testing.F) {
 			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) || math.Abs(b[i]) > 1e100 {
 				b[i] = 1
 			}
+			// The float32 twin squeezes harder: clamp so even n products
+			// cannot overflow float32 accumulation.
+			a32[i], b32[i] = float32(a[i]), float32(b[i])
+			if math.IsInf(float64(a32[i]), 0) || math.Abs(float64(a32[i])) > 1e15 {
+				a32[i] = 1
+			}
+			if math.IsInf(float64(b32[i]), 0) || math.Abs(float64(b32[i])) > 1e15 {
+				b32[i] = 1
+			}
 		}
 		want := dotNaive(a, b)
 		got := Dot(a, b)
 		if diff := math.Abs(got - want); diff > ulpBound(a, b) {
 			t.Fatalf("n=%d: Dot=%g naive=%g diff=%g bound=%g", n, got, want, diff, ulpBound(a, b))
 		}
+		if diff := math.Abs(got - dot4(a, b)); diff > ulpBound(a, b) {
+			t.Fatalf("n=%d: dispatched Dot=%g portable=%g diff=%g bound=%g", n, got, dot4(a, b), diff, ulpBound(a, b))
+		}
 		dst := make([]float64, 1)
 		DotBatch(dst, a, b)
 		if dst[0] != got {
 			t.Fatalf("DotBatch single row %g != Dot %g", dst[0], got)
 		}
+		got32 := Dot32(a32, b32)
+		want32 := dotNaive32Ref(a32, b32)
+		if diff := math.Abs(float64(got32) - want32); diff > ulpBound32(a32, b32) {
+			t.Fatalf("n=%d: Dot32=%g ref=%g diff=%g bound=%g", n, got32, want32, diff, ulpBound32(a32, b32))
+		}
+		if diff := math.Abs(float64(got32) - float64(dot4_32(a32, b32))); diff > ulpBound32(a32, b32) {
+			t.Fatalf("n=%d: dispatched Dot32=%g portable=%g diff=%g", n, got32, dot4_32(a32, b32), diff)
+		}
+		dst32 := make([]float32, 1)
+		DotBatch32(dst32, a32, b32)
+		if dst32[0] != got32 {
+			t.Fatalf("DotBatch32 single row %g != Dot32 %g", dst32[0], got32)
+		}
 	})
 }
 
 // ---------------------------------------------------------------------------
-// Benchmarks: the unrolled kernel must be no slower than the naive loop at
-// the configured AMF ranks (8/10/16), and DotBatch must beat per-row Dot
-// calls on a contiguous block.
+// Benchmarks: the dispatched kernel must be no slower than the naive
+// loop at the configured AMF ranks (8/10/16). The batch kernels'
+// scalar-vs-SIMD-vs-float32 comparisons live in kernels32_test.go as
+// paired-interleaved benches (BenchmarkDotBatch, BenchmarkMulBatch).
 
 var sinkF float64
 
@@ -215,34 +248,6 @@ func BenchmarkDot(b *testing.B) {
 				s += dotNaive(a, q)
 			}
 			sinkF = s
-		})
-	}
-}
-
-func BenchmarkDotBatch(b *testing.B) {
-	const rank = 10
-	for _, rows := range []int{1000, 10000} {
-		rng := rand.New(rand.NewSource(2))
-		block := randVec(rng, rows*rank)
-		q := randVec(rng, rank)
-		dst := make([]float64, rows)
-		b.Run("batch/rows="+itoa(rows), func(b *testing.B) {
-			b.ReportAllocs()
-			b.SetBytes(int64(rows * rank * 8))
-			for i := 0; i < b.N; i++ {
-				DotBatch(dst, block, q)
-			}
-			sinkF = dst[0]
-		})
-		b.Run("per-row-dot/rows="+itoa(rows), func(b *testing.B) {
-			b.ReportAllocs()
-			b.SetBytes(int64(rows * rank * 8))
-			for i := 0; i < b.N; i++ {
-				for r := 0; r < rows; r++ {
-					dst[r] = Dot(block[r*rank:(r+1)*rank], q)
-				}
-			}
-			sinkF = dst[0]
 		})
 	}
 }

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+)
+
+// Request-coalesced full-catalog ranking (ISSUE 8). Under adaptation
+// storms — a dependency degrades and every affected client re-ranks at
+// once — the server receives bursts of POST /api/v1/rank full-scan
+// requests within microseconds of each other. Served independently,
+// each one streams the entire service arena from DRAM; coalesced, the
+// requests that arrive within a small window are batched into ONE
+// multi-query pass (core.PredictView.TopKAllBatch) that reads every
+// arena block once for all of them.
+//
+// The mechanics: the first request to arrive arms a window timer and
+// waits; requests arriving inside the window pile onto the pending
+// batch; the batch flushes when the timer fires or when it reaches the
+// max size, whichever comes first (a max-size flush runs on the
+// triggering request's goroutine, the timer flush on the timer's). All
+// requests in a flush are served from ONE view load, so each gets
+// exactly the []Ranked the serial TopKAll would have produced against
+// that same view — coalescing changes latency shape, never results.
+//
+// Coalescing is off by default (window 0): a lone request would only
+// pay the window in added latency. It is a throughput-for-latency trade
+// to switch on (-rank-coalesce-window) when full-scan ranking traffic
+// is bursty enough that DRAM bandwidth, not request latency, is the
+// binding constraint.
+
+// rankJob is one waiting full-scan ranking request.
+type rankJob struct {
+	uid   int
+	k     int
+	lower bool
+	done  chan rankResult
+}
+
+// rankResult is what a flush hands back to each waiting request: its
+// ranking, the view the whole batch was served from (the handler
+// reports this view's version/catalog size, not one it loaded itself),
+// and the flush's batch size for instrumentation.
+type rankResult struct {
+	ranked []core.Ranked
+	view   *core.PredictView
+	batch  int
+}
+
+// rankCoalescer batches concurrent full-scan rankings. It holds no
+// configuration: window and max arrive with each submit (read from the
+// server's RankCoalesceWindow/RankCoalesceMax fields per request, like
+// every other server tunable), so tests and embedders can adjust them
+// after construction.
+type rankCoalescer struct {
+	view func() *core.PredictView // engine view loader
+
+	mu      sync.Mutex
+	pending []rankJob
+	timer   *time.Timer
+}
+
+func newRankCoalescer(view func() *core.PredictView) *rankCoalescer {
+	return &rankCoalescer{view: view}
+}
+
+// submit enqueues one full-scan ranking and blocks until its batch is
+// flushed. The first job of a window arms the timer; the job that fills
+// the batch to max flushes immediately on its own goroutine.
+func (c *rankCoalescer) submit(uid, k int, lower bool, window time.Duration, max int) rankResult {
+	if max <= 1 {
+		// Degenerate batch size: serve directly, no window to win from.
+		v := c.view()
+		return rankResult{ranked: v.TopKAll(uid, k, lower, 1), view: v, batch: 1}
+	}
+	job := rankJob{uid: uid, k: k, lower: lower, done: make(chan rankResult, 1)}
+	c.mu.Lock()
+	c.pending = append(c.pending, job)
+	if len(c.pending) == 1 {
+		c.timer = time.AfterFunc(window, c.flushTimer)
+	}
+	if len(c.pending) >= max {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.run(batch)
+	} else {
+		c.mu.Unlock()
+	}
+	return <-job.done
+}
+
+// flushTimer is the window-expiry path. If a max-size flush already
+// drained the batch, pending is empty and this is a no-op. If the timer
+// had already fired when a max-size flush tried to Stop it, this can
+// also pick up jobs from the NEXT window and serve them early — benign:
+// they simply wait less than their full window.
+func (c *rankCoalescer) flushTimer() {
+	c.mu.Lock()
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.run(batch)
+}
+
+// takeLocked claims the pending batch and disarms the window timer.
+func (c *rankCoalescer) takeLocked() []rankJob {
+	batch := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// run serves one flushed batch from a single view load.
+func (c *rankCoalescer) run(batch []rankJob) {
+	if len(batch) == 0 {
+		return
+	}
+	view := c.view()
+	queries := make([]core.RankQuery, len(batch))
+	for i, j := range batch {
+		queries[i] = core.RankQuery{User: j.uid, K: j.k, LowerIsBetter: j.lower}
+	}
+	outs := view.TopKAllBatch(queries)
+	for i, j := range batch {
+		j.done <- rankResult{ranked: outs[i], view: view, batch: len(batch)}
+	}
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/engine"
+	"github.com/qoslab/amf/internal/stream"
+)
+
+// Tests for request-coalesced full-scan ranking (coalesce.go). The
+// contract under test: coalescing changes WHEN a request is served and
+// what it costs, never WHAT it returns — every coalesced response is
+// bit-identical to the serial TopKAll against the same view.
+
+// coalesceEngine builds a trained engine with nUsers×nServices history.
+func coalesceEngine(t testing.TB, nUsers, nServices int) *engine.Engine {
+	t.Helper()
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	m := core.MustNew(cfg)
+	eng := engine.New(m, engine.Config{})
+	t.Cleanup(eng.Close)
+	var ss []stream.Sample
+	for u := 0; u < nUsers; u++ {
+		for s := 0; s < nServices; s++ {
+			ss = append(ss, stream.Sample{User: u, Service: s, Value: 0.5 + float64((u*7+s*13)%11)})
+		}
+	}
+	eng.ObserveAll(ss)
+	return eng
+}
+
+// TestRankCoalescerBitIdentical is the -race acceptance test: N
+// concurrent full-scan submissions against an engine that keeps
+// republishing views must each come back bit-identical to the serial
+// TopKAll on the SAME view their batch was served from. The result
+// carries that view precisely so this comparison is exact even while
+// the published view moves underneath the requests.
+func TestRankCoalescerBitIdentical(t *testing.T) {
+	eng := coalesceEngine(t, 8, 400)
+	c := newRankCoalescer(eng.View)
+
+	// Republisher: keep the engine's view version moving while the
+	// concurrent submissions are in flight.
+	stop := make(chan struct{})
+	var repubWG sync.WaitGroup
+	repubWG.Add(1)
+	go func() {
+		defer repubWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eng.ObserveAll([]stream.Sample{{User: i % 8, Service: i % 400, Value: 1 + float64(i%5)}})
+		}
+	}()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			uid := i % 8
+			k := 1 + i%20
+			lower := i%3 != 0
+			res := c.submit(uid, k, lower, 500*time.Microsecond, 8)
+			if res.view == nil {
+				errs <- "result carries no view"
+				return
+			}
+			if res.batch < 1 || res.batch > 8 {
+				errs <- fmt.Sprintf("batch size %d outside [1,8]", res.batch)
+				return
+			}
+			want := res.view.TopKAll(uid, k, lower, 1)
+			if len(res.ranked) != len(want) {
+				errs <- fmt.Sprintf("req %d: %d ranked, want %d", i, len(res.ranked), len(want))
+				return
+			}
+			for j := range want {
+				if res.ranked[j] != want[j] {
+					errs <- fmt.Sprintf("req %d rank %d: got %+v want %+v", i, j, res.ranked[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	repubWG.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestRankEndpointCoalesced drives coalescing through the HTTP handler:
+// concurrent POST /api/v1/rank full scans with the window enabled all
+// succeed, return exactly the uncoalesced ranking (the model is static
+// here, so every view is the same), and tick the coalescing metrics.
+func TestRankEndpointCoalesced(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s) // u0..u3 × s0..s4
+	s.RankCoalesceWindow = 2 * time.Millisecond
+	s.RankCoalesceMax = 4
+
+	uid, ok := s.users.Lookup("u1")
+	if !ok {
+		t.Fatal("u1 not registered")
+	}
+	want := s.eng.View().TopKAll(uid, 3, true, 1)
+	if len(want) != 3 {
+		t.Fatalf("reference ranking has %d entries", len(want))
+	}
+
+	const n = 12
+	var wg sync.WaitGroup
+	responses := make([]RankResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := doReq(t, s, http.MethodPost, "/api/v1/rank", RankRequest{User: "u1", TopK: 3})
+			codes[i] = w.Code
+			if w.Code == http.StatusOK {
+				responses[i] = decodeRank(t, w.Body.Bytes())
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		resp := responses[i]
+		if resp.Candidates != 5 || len(resp.Ranked) != 3 {
+			t.Fatalf("request %d: candidates=%d ranked=%d", i, resp.Candidates, len(resp.Ranked))
+		}
+		for j, r := range resp.Ranked {
+			name, _ := s.services.NameOf(want[j].Service)
+			if r.Service != name || r.Value != want[j].Value {
+				t.Fatalf("request %d rank %d: got %+v, want {%s %g}", i, j, r, name, want[j].Value)
+			}
+		}
+	}
+	if got := s.metrics.rankCoalesced.Value(); got != n {
+		t.Fatalf("amf_rank_coalesced_total = %d, want %d", got, n)
+	}
+	if got := s.rankCoalesceSize.Count(); got != n {
+		t.Fatalf("amf_rank_coalesce_batch_size observations = %d, want %d", got, n)
+	}
+}
+
+// TestRankCoalesceDisabledByDefault: with the default window of 0 the
+// full-scan path never touches the coalescer (no added latency, no
+// coalesce metrics) — the 5%-budget guarantee for default configs.
+func TestRankCoalesceDisabledByDefault(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	w := doReq(t, s, http.MethodPost, "/api/v1/rank", RankRequest{User: "u1", TopK: 3})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := s.metrics.rankCoalesced.Value(); got != 0 {
+		t.Fatalf("amf_rank_coalesced_total = %d with coalescing disabled", got)
+	}
+	if got := s.rankCoalesceSize.Count(); got != 0 {
+		t.Fatalf("amf_rank_coalesce_batch_size observations = %d with coalescing disabled", got)
+	}
+}
+
+// TestRankCoalesceMaxOne: a degenerate max of 1 serves directly (no
+// window wait) and still produces the exact serial result.
+func TestRankCoalesceMaxOne(t *testing.T) {
+	s := testServer(t)
+	observeSome(t, s)
+	s.RankCoalesceWindow = time.Second // would be painful if actually waited
+	s.RankCoalesceMax = 1
+
+	uid, _ := s.users.Lookup("u2")
+	want := s.eng.View().TopKAll(uid, 2, true, 1)
+	start := time.Now()
+	w := doReq(t, s, http.MethodPost, "/api/v1/rank", RankRequest{User: "u2", TopK: 2})
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("max=1 request waited %v; should serve directly", d)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeRank(t, w.Body.Bytes())
+	if len(resp.Ranked) != len(want) {
+		t.Fatalf("ranked %d, want %d", len(resp.Ranked), len(want))
+	}
+	for j, r := range resp.Ranked {
+		name, _ := s.services.NameOf(want[j].Service)
+		if r.Service != name || r.Value != want[j].Value {
+			t.Fatalf("rank %d: got %+v, want {%s %g}", j, r, name, want[j].Value)
+		}
+	}
+}

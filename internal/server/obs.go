@@ -27,6 +27,7 @@ type counters struct {
 	churnRemovals    *obs.Counter // users/services deregistered
 	rankRequests     *obs.Counter // candidate rankings served
 	rankCandidates   *obs.Counter // candidates scanned across all rankings
+	rankCoalesced    *obs.Counter // full-scan rankings served through coalesced batches
 }
 
 // buildMetrics constructs the registry and every metric family the server
@@ -45,19 +46,27 @@ func (s *Server) buildMetrics() {
 		churnRemovals:    r.NewCounter("amf_churn_removals_total", "Users/services deregistered (churn departures)."),
 		rankRequests:     r.NewCounter("amf_rank_requests_total", "Candidate rankings served."),
 		rankCandidates:   r.NewCounter("amf_rank_candidates_total", "Candidates scanned across all ranking requests."),
+		rankCoalesced:    r.NewCounter("amf_rank_coalesced_total", "Full-scan rankings served through a coalesced multi-query batch."),
 	}
 
 	// Ranking fast path: latency by execution mode (serial, parallel,
-	// full_scan, full_scan_parallel). Unsampled — rankings are orders of
-	// magnitude rarer than predicts and each one is worth timing. The
-	// mode children are materialized up front so /metrics always exposes
-	// the full family (and so the exposition validates before the first
-	// ranking arrives).
+	// full_scan, full_scan_parallel, full_scan_coalesced). Unsampled —
+	// rankings are orders of magnitude rarer than predicts and each one
+	// is worth timing. The mode children are materialized up front so
+	// /metrics always exposes the full family (and so the exposition
+	// validates before the first ranking arrives).
 	s.rankLatency = r.NewHistogramVec("amf_rank_latency_seconds",
 		"Candidate-ranking latency by execution mode.", "mode", 1e-6, 60, 8)
-	for _, mode := range []string{"serial", "parallel", "full_scan", "full_scan_parallel"} {
+	for _, mode := range []string{"serial", "parallel", "full_scan", "full_scan_parallel", "full_scan_coalesced"} {
 		s.rankLatency.With(mode)
 	}
+
+	// Coalesced-batch size distribution: how many full-scan requests each
+	// flush actually served together (1 = a request whose window expired
+	// alone). Buckets cover 1..RankCoalesceMax-scale sizes.
+	s.rankCoalesceSize = obs.NewHistogram(1, 1024, 4)
+	r.RegisterHistogram("amf_rank_coalesce_batch_size",
+		"Full-scan rank requests served per coalesced flush.", s.rankCoalesceSize)
 
 	// Build identification (ldflags-stamped; covers the embedded qosdb,
 	// which has no process of its own).

@@ -82,15 +82,37 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 
 	var mode string
 	if len(req.Services) == 0 {
-		// Rank everything the view knows: pure arena scan, no map walks.
-		mode = "full_scan"
-		workers := s.rankWorkers(view.NumServices())
-		if workers > 1 {
-			mode = "full_scan_parallel"
+		if w := s.RankCoalesceWindow; w > 0 {
+			// Coalesced full scan: park this request on the batch window
+			// and serve it from one multi-query arena pass shared with
+			// every concurrent full-scan request (see coalesce.go). The
+			// batch is served from its own single view load, so the
+			// response reports THAT view, not the one loaded above.
+			mode = "full_scan_coalesced"
+			max := s.RankCoalesceMax
+			if max <= 0 {
+				max = 16
+			}
+			res := s.coalescer.submit(uid, req.TopK, lowerIsBetter, w, max)
+			view = res.view
+			resp.ViewVersion = view.Version()
+			resp.Candidates = view.NumServices()
+			resp.Ranked = s.rankedNames(res.ranked)
+			if s.instrument {
+				s.metrics.rankCoalesced.Inc()
+				s.rankCoalesceSize.Observe(float64(res.batch))
+			}
+		} else {
+			// Rank everything the view knows: pure arena scan, no map walks.
+			mode = "full_scan"
+			workers := s.rankWorkers(view.NumServices())
+			if workers > 1 {
+				mode = "full_scan_parallel"
+			}
+			resp.Candidates = view.NumServices()
+			ranked := view.TopKAll(uid, req.TopK, lowerIsBetter, workers)
+			resp.Ranked = s.rankedNames(ranked)
 		}
-		resp.Candidates = view.NumServices()
-		ranked := view.TopKAll(uid, req.TopK, lowerIsBetter, workers)
-		resp.Ranked = s.rankedNames(ranked)
 	} else {
 		// Resolve every candidate name in one registry pass.
 		ids, known := s.services.ResolveAll(req.Services)

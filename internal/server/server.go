@@ -48,9 +48,26 @@ type Server struct {
 	// wakeups + k-way merge) exceeds the scan itself.
 	RankParallelThreshold int
 
+	// RankCoalesceWindow batches concurrent full-scan rank requests
+	// arriving within this window into one multi-query arena pass (see
+	// coalesce.go). 0 (the default) disables coalescing — a lone request
+	// would only pay the window as added latency. Results are identical
+	// to uncoalesced serving; only DRAM traffic and latency shape change.
+	RankCoalesceWindow time.Duration
+
+	// RankCoalesceMax caps a coalesced batch; reaching it flushes the
+	// batch immediately without waiting out the window. Defaults to 16
+	// when <= 0.
+	RankCoalesceMax int
+
 	// MetricsCompat additionally exposes the pre-rename metric names
 	// (amf_uptime_ms) on /metrics for one release; see CHANGES.md.
 	MetricsCompat bool
+
+	// coalescer batches concurrent full-scan rankings when
+	// RankCoalesceWindow > 0 (see coalesce.go). Always constructed;
+	// consulted per request.
+	coalescer *rankCoalescer
 
 	// store is the optional QoS database (see SetStore).
 	store *qosdb.Store
@@ -62,20 +79,21 @@ type Server struct {
 	// Observability (see obs.go): the metric registry behind /metrics,
 	// request middleware state, the live accuracy tracker, and the
 	// structured logger. reqSeq numbers requests for log correlation.
-	reg           *obs.Registry
-	metrics       counters
-	httpHist      *obs.HistogramVec
-	rankLatency   *obs.HistogramVec
-	inflight      *obs.Gauge
-	statusClass   [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
-	acc           *obs.AccuracyTracker
-	traces        *trace.Recorder
-	log           *slog.Logger
-	logDebug      bool // cached log.Enabled(debug); refreshed by SetLogger
-	slowThreshold time.Duration
-	instrument    bool
-	reqSeq        atomic.Uint64
-	closed        atomic.Bool
+	reg              *obs.Registry
+	metrics          counters
+	httpHist         *obs.HistogramVec
+	rankLatency      *obs.HistogramVec
+	rankCoalesceSize *obs.Histogram
+	inflight         *obs.Gauge
+	statusClass      [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
+	acc              *obs.AccuracyTracker
+	traces           *trace.Recorder
+	log              *slog.Logger
+	logDebug         bool // cached log.Enabled(debug); refreshed by SetLogger
+	slowThreshold    time.Duration
+	instrument       bool
+	reqSeq           atomic.Uint64
+	closed           atomic.Bool
 
 	// Cluster role (see replication.go): follower marks a replica that
 	// tails a leader's WAL and rejects direct writes; repl is its tailer.
@@ -148,6 +166,7 @@ func NewWithEngine(eng *engine.Engine, opts ...Option) *Server {
 		opt(s)
 	}
 	s.logDebug = s.log.Enabled(context.Background(), slog.LevelDebug)
+	s.coalescer = newRankCoalescer(eng.View)
 	// The trace recorder shares the slow-request threshold: a span worth a
 	// slow-log warning is a span worth retaining past ring churn.
 	s.traces = trace.NewRecorder(trace.Config{SlowThreshold: s.slowThreshold})
