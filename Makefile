@@ -10,7 +10,7 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/qoslab/amf/internal/obs.buildVersion=$(VERSION) \
            -X github.com/qoslab/amf/internal/obs.buildCommit=$(COMMIT)
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-cluster bench-kernels test-cluster test-noasm build-arm64 lint-metrics fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-wal bench-cluster bench-kernels test-cluster test-noasm build-arm64 lint-metrics fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -70,6 +70,7 @@ bench-smoke: vet
 	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput/workers=(1|4)$$' -benchtime=0.2s ./internal/core/
 	$(GO) test -run=NONE -bench='BenchmarkObserveJournal/journal=(none|interval)' -benchtime=0.2s ./internal/engine/
 	$(GO) test -run=NONE -bench='BenchmarkWALAppend/(off|interval)' -benchtime=0.2s ./internal/store/
+	$(GO) test -run=NONE -bench='BenchmarkWALGroupCommit/P=8$$' -benchtime=0.2s ./internal/store/
 
 # SIMD kernel comparison (scalar vs AVX2/NEON vs float32, plus the
 # blocked multi-query coalescing traversal), archived as machine-
@@ -104,6 +105,16 @@ bench-recovery:
 	{ $(GO) test -run=NONE -bench='BenchmarkWALAppend|BenchmarkWALReplay|BenchmarkCheckpoint|BenchmarkRecovery' -benchmem -benchtime=0.5s ./internal/store/ ; \
 	  $(GO) test -run=NONE -bench='BenchmarkObserveJournal' -benchmem -benchtime=0.5s ./internal/engine/ ; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_recovery.json
+
+# Group-commit write-path benchmark, archived as BENCH_wal.json: P
+# concurrent writers each issuing durable appends under fsync=always
+# (one fsync per record) vs fsync=group (shared covering fsync) vs
+# fsync=interval (bounded-loss floor), paired-interleaved inside one
+# timing loop so the group-speedup-x extras are immune to disk and CPU
+# drift between arms.
+bench-wal:
+	$(GO) test -run=NONE -bench='BenchmarkWALGroupCommit' -benchmem -benchtime=0.5s ./internal/store/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_wal.json
 
 # Cluster integration gate: the ring/gateway suites (including the
 # SIGKILL-the-leader failover test — 1 gateway + 3 replicas in-process,

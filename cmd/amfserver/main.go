@@ -52,9 +52,11 @@ func run(args []string) error {
 		ingestAt = fs.String("ingest", "", "optional TCP stream-ingest address (e.g. :9090) for line-format observations")
 
 		dataDir     = fs.String("data-dir", "", "durable-state directory: WAL journaling, periodic checkpoints, crash recovery (mutually exclusive with -state)")
-		fsyncPolicy = fs.String("fsync", "interval", "WAL fsync policy: always (acked = durable), interval (bounded loss), or off")
+		fsyncPolicy = fs.String("fsync", "interval", "WAL fsync policy: always (acked = durable, one fsync per observe), group (acked = durable, concurrent observes share one fsync), interval (bounded loss), or off")
 		snapIvl     = fs.Duration("snapshot-interval", time.Minute, "background checkpoint cadence for -data-dir")
 		walSegBytes = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB default)")
+		groupWindow = fs.Duration("fsync-group-window", 0, "-fsync group max-latency bound: a buffered append is fsynced no later than this (0 = 1ms default)")
+		groupBytes  = fs.Int64("fsync-group-bytes", 0, "-fsync group early-fsync trigger: fsync once this many bytes are buffered (0 = 1 MiB default)")
 
 		role       = fs.String("role", "leader", "cluster role: leader (serves writes) or follower (replicates a leader's WAL, read-only until promoted)")
 		leaderURL  = fs.String("leader", "", "leader base URL to replicate from (follower role, required)")
@@ -156,6 +158,8 @@ func run(args []string) error {
 		mgr, err = store.Open(*dataDir, store.Options{
 			SegmentBytes:       *walSegBytes,
 			Sync:               sync,
+			GroupWindow:        *groupWindow,
+			GroupBytes:         *groupBytes,
 			CheckpointInterval: *snapIvl,
 			Logger:             logger,
 		})
@@ -214,6 +218,8 @@ func run(args []string) error {
 			StoreOptions: store.Options{
 				SegmentBytes:       *walSegBytes,
 				Sync:               sync,
+				GroupWindow:        *groupWindow,
+				GroupBytes:         *groupBytes,
 				CheckpointInterval: *snapIvl,
 				Logger:             logger,
 			},

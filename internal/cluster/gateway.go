@@ -150,11 +150,14 @@ func New(cfg Config) (*Gateway, error) {
 	if g.http == nil {
 		// The default transport keeps only 2 idle conns per host — a
 		// proxy fanning every request through the same few backends
-		// would reconnect constantly.
+		// would reconnect constantly. Compression is pointless on the
+		// backend leg (same-datacenter hops, and gzip would burn far
+		// more than it saves at this latency floor).
 		g.http = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        256,
 			MaxIdleConnsPerHost: 64,
 			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
 		}}
 	}
 	for i, urls := range cfg.Groups {
@@ -377,14 +380,23 @@ func (grp *group) healthyReplicas() []*replica {
 	return out
 }
 
+// proxyBufPool recycles the request-marshal and response-read buffers
+// under postJSON. The predict proxy path runs one of each per
+// sub-request; pooling them (plus Unmarshal over a pooled read instead
+// of a fresh json.Decoder) is what pulled the direct→gateway allocation
+// overhead down — see BENCH_cluster.json.
+var proxyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // postJSON sends one JSON sub-request and decodes the 200 response into
 // out. Non-200 answers surface as errors carrying the backend's message.
 func (g *Gateway) postJSON(ctx context.Context, url string, body, out any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
+	buf := proxyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer proxyBufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
 		return fmt.Errorf("cluster: marshal: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return err
 	}
@@ -414,9 +426,18 @@ func (g *Gateway) postJSON(ctx context.Context, url string, body, out any) error
 		return &backendError{status: resp.StatusCode, msg: msg}
 	}
 	if out == nil {
+		// Drain so the keep-alive connection goes back to the pool.
+		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	rbuf := proxyBufPool.Get().(*bytes.Buffer)
+	rbuf.Reset()
+	defer proxyBufPool.Put(rbuf)
+	if _, err := rbuf.ReadFrom(resp.Body); err != nil {
+		g.proxyErrors.Inc()
+		return fmt.Errorf("cluster: read response: %w", err)
+	}
+	return json.Unmarshal(rbuf.Bytes(), out)
 }
 
 // forwardRaw proxies a request body verbatim to one backend and streams

@@ -172,10 +172,11 @@ type syncBatch struct {
 // ObserveTiming is the per-stage breakdown of one synchronous observe
 // batch, filled by ObserveAllTraced for trace annotation.
 type ObserveTiming struct {
-	QueueWait time.Duration // enqueue → writer starts applying the batch
-	Journal   time.Duration // WAL append (zero without a journal)
-	Apply     time.Duration // model update
-	Publish   time.Duration // view rebuild + RCU publish
+	QueueWait  time.Duration // enqueue → writer starts applying the batch
+	Journal    time.Duration // WAL append (zero without a journal)
+	Apply      time.Duration // model update
+	Publish    time.Duration // view rebuild + RCU publish
+	CommitWait time.Duration // group-commit fsync wait (zero unless pipelined)
 }
 
 // queued is one ingest-queue entry: the sample plus its enqueue time
@@ -249,6 +250,15 @@ type Engine struct {
 	journal     Journal
 	drainBuf    []stream.Sample
 	journalErrs atomic.Int64
+
+	// durJournal is non-nil when the attached journal group-commits
+	// (see DurableJournal): the writer then hands each journaled sync
+	// batch to the ack completer instead of closing done inline, so it
+	// keeps draining/applying while the covering fsync is in flight.
+	// acks is the completer's queue; both are guarded by mu (the writer
+	// reads them under mu per batch).
+	durJournal DurableJournal
+	acks       chan ackEntry
 
 	// timing, when non-nil, receives per-stage durations for the sync
 	// batch currently being applied. Guarded by mu: set only inside the
@@ -488,14 +498,21 @@ func (e *Engine) Observe(s stream.Sample) { e.ObserveAll([]stream.Sample{s}) }
 func (e *Engine) Flush() { e.ObserveAll(nil) }
 
 // applyInline is the post-Close fallback: the writer is gone, so mutate
-// under mu directly.
+// under mu directly. Durable acks complete inline too — there is no
+// completer anymore, but acked⇒durable must survive shutdown races.
 func (e *Engine) applyInline(ss []stream.Sample, t *ObserveTiming) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.timing = t
-	e.applyLocked(ss)
+	seq := e.applyLocked(ss)
 	e.publishLocked()
 	e.timing = nil
+	dj := e.durJournal
+	e.mu.Unlock()
+	if dj != nil && seq > 0 {
+		if err := dj.WaitDurable(seq); err != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -730,7 +747,14 @@ func (e *Engine) loop() {
 			e.mu.Lock()
 			e.drainLocked()
 			e.publishLocked()
+			acks := e.acks
+			e.acks = nil
 			e.mu.Unlock()
+			if acks != nil {
+				// The completer drains what's queued, then exits; its
+				// e.wg membership keeps the shutdown fallback honest.
+				close(acks)
+			}
 			return
 		case sb := <-e.syncCh:
 			e.mu.Lock()
@@ -743,12 +767,25 @@ func (e *Engine) loop() {
 				sb.timing.QueueWait = time.Since(sb.enq)
 				e.timing = sb.timing
 			}
-			e.applyLocked(sb.samples)
+			seq := e.applyLocked(sb.samples)
 			e.replayLocked()
 			e.publishLocked() // force: sync callers get read-your-writes
 			e.timing = nil
+			dj, acks := e.durJournal, e.acks
 			e.mu.Unlock()
-			close(sb.done)
+			if dj != nil && acks != nil && seq > 0 {
+				// Pipelined ack: the completer releases the caller once
+				// the covering group fsync lands; this loop moves straight
+				// on to the next batch while that fsync is in flight.
+				a := ackEntry{seq: seq, sb: sb, j: dj}
+				select {
+				case acks <- a:
+				default:
+					e.completeAck(a) // queue full: backpressure inline
+				}
+			} else {
+				close(sb.done)
+			}
 		case <-e.wake:
 			e.mu.Lock()
 			e.drainLocked()
@@ -863,12 +900,14 @@ func (e *Engine) drainLocked() {
 	}
 }
 
-func (e *Engine) applyLocked(ss []stream.Sample) {
+// applyLocked journals then applies one sync batch, returning the
+// journal sequence number covering it (0 when nothing was journaled).
+func (e *Engine) applyLocked(ss []stream.Sample) uint64 {
 	if len(ss) == 0 {
-		return
+		return 0
 	}
 	jStart := time.Now()
-	e.journalSamplesLocked(ss) // journal-before-apply
+	seq := e.journalSamplesLocked(ss) // journal-before-apply
 	start := time.Now()
 	if e.timing != nil {
 		e.timing.Journal = start.Sub(jStart)
@@ -888,6 +927,7 @@ func (e *Engine) applyLocked(ss []stream.Sample) {
 	e.applied.Add(int64(len(ss)))
 	e.sincePublish += len(ss)
 	e.pending.Add(int64(len(ss)))
+	return seq
 }
 
 func (e *Engine) replayLocked() {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/stream"
 )
@@ -39,26 +41,107 @@ type Journal interface {
 	LastSeq() uint64
 }
 
+// DurableJournal is the optional group-commit extension of Journal,
+// satisfied by *store.WAL. When the attached journal implements it AND
+// reports GroupCommit(), the engine pipelines synchronous acks: the
+// writer loop journals a batch, applies it, and moves on to the next
+// batch while the covering fsync is in flight; a separate completer
+// parks on WaitDurable and releases each ObserveAll caller only once
+// its records are on stable storage. Acked still implies durable — N
+// concurrent observers just share one fsync instead of queueing one
+// each under the writer lock.
+type DurableJournal interface {
+	Journal
+	// GroupCommit reports whether appends are covered by a batched
+	// fsync whose completion must be awaited via WaitDurable.
+	GroupCommit() bool
+	// WaitDurable blocks until the record with the given sequence
+	// number is on stable storage (or the log is fenced/failed/closed,
+	// in which case it returns the rejection).
+	WaitDurable(seq uint64) error
+}
+
 // SetJournal attaches (or detaches, with nil) the write-ahead log. Call
 // it after recovery replay and before serving traffic: replayed samples
 // go through the normal observe path and must not be re-journaled, so
-// the recovery sequence is replay first, attach second.
+// the recovery sequence is replay first, attach second. (It must also
+// not race Close — the same before-serving rule covers that.)
+//
+// A journal that implements DurableJournal with group commit enabled
+// switches the engine to pipelined acks (see DurableJournal).
 func (e *Engine) SetJournal(j Journal) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.journal = j
+	e.durJournal = nil
+	if dj, ok := j.(DurableJournal); ok && dj.GroupCommit() {
+		e.durJournal = dj
+		if e.acks == nil && !e.closed.Load() {
+			e.acks = make(chan ackEntry, ackQueueDepth)
+			e.wg.Add(1)
+			go e.ackLoop(e.acks)
+		}
+	}
 }
 
 // journalSamplesLocked appends one batch to the journal, counting (and
-// tolerating) failures. Called under mu, always before the batch is
-// applied to the model.
-func (e *Engine) journalSamplesLocked(ss []stream.Sample) {
+// tolerating) failures, and returns the sequence number of the last
+// record written (0 when nothing was journaled). Called under mu,
+// always before the batch is applied to the model.
+func (e *Engine) journalSamplesLocked(ss []stream.Sample) uint64 {
 	if e.journal == nil || len(ss) == 0 {
-		return
+		return 0
 	}
-	if _, err := e.journal.AppendSamples(ss); err != nil {
+	seq, err := e.journal.AppendSamples(ss)
+	if err != nil {
+		e.journalErrs.Add(1)
+		return 0
+	}
+	return seq
+}
+
+// ackQueueDepth bounds the completer's queue of in-flight synchronous
+// batches. When it fills (more concurrent observers than slots), the
+// writer completes the batch inline — backpressure, not loss.
+const ackQueueDepth = 1024
+
+// ackEntry is one synchronous batch whose caller is waiting for the
+// covering group fsync.
+type ackEntry struct {
+	seq uint64
+	sb  syncBatch
+	j   DurableJournal
+}
+
+// ackLoop is the pipelined-ack completer: it parks on the durable
+// commit index for each journaled sync batch, in writer order, and
+// releases the ObserveAll caller once the batch is on stable storage.
+// The writer closes the channel at exit after its final drain, so every
+// taken batch's done channel is guaranteed closed once e.wg drains —
+// the invariant observeAll's shutdown fallback relies on.
+func (e *Engine) ackLoop(acks chan ackEntry) {
+	defer e.wg.Done()
+	for a := range acks {
+		e.completeAck(a)
+	}
+}
+
+// completeAck waits out the covering fsync and releases the caller. A
+// WaitDurable rejection (fence, WAL failure, close) is counted like any
+// other journal error — the engine keeps serving; the store's fail-fast
+// makes the durability gap visible.
+func (e *Engine) completeAck(a ackEntry) {
+	var start time.Time
+	if a.sb.timing != nil {
+		start = time.Now()
+	}
+	if err := a.j.WaitDurable(a.seq); err != nil {
 		e.journalErrs.Add(1)
 	}
+	if a.sb.timing != nil {
+		a.sb.timing.CommitWait = time.Since(start)
+	}
+	close(a.sb.done)
 }
 
 // CheckpointView publishes any pending model updates and returns, from

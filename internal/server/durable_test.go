@@ -260,6 +260,8 @@ func TestDurableMetrics(t *testing.T) {
 		"amf_wal_errors_total",
 		"amf_wal_torn_truncations_total",
 		"amf_wal_segments",
+		"amf_wal_group_commit_syncs_total",
+		"amf_wal_group_commit_records",
 		"amf_checkpoint_seconds",
 		"amf_checkpoints_total",
 		"amf_checkpoint_age_seconds",
@@ -288,8 +290,16 @@ func TestCrashChildHelper(t *testing.T) {
 		t.Skip("crash-test child helper; run via TestDurableKillRestart")
 	}
 	dir := os.Getenv("AMF_CRASH_DIR")
+	sync := store.SyncAlways
+	if p := os.Getenv("AMF_CRASH_FSYNC"); p != "" {
+		var err error
+		if sync, err = store.ParseSyncPolicy(p); err != nil {
+			fmt.Printf("CHILD_ERR=%v\n", err)
+			os.Exit(1)
+		}
+	}
 	mgr, err := store.Open(dir, store.Options{
-		Sync:               store.SyncAlways,
+		Sync:               sync,
 		CheckpointInterval: time.Hour,
 		Logger:             quietLogger(),
 	})
@@ -320,12 +330,26 @@ func TestCrashChildHelper(t *testing.T) {
 // every observation the child acked with a 200 is reflected in the
 // recovered model. Zero acked loss is the always-policy contract.
 func TestDurableKillRestart(t *testing.T) {
+	runKillRestart(t, store.SyncAlways)
+}
+
+// TestDurableKillRestartGroupCommit is the same SIGKILL crash test under
+// fsync=group: an observe acked mid-window is only acked AFTER its
+// covering group fsync landed, so zero acked loss must hold exactly as
+// under fsync=always — batching the fsync must never weaken the
+// contract.
+func TestDurableKillRestartGroupCommit(t *testing.T) {
+	runKillRestart(t, store.SyncGroup)
+}
+
+func runKillRestart(t *testing.T, sync store.SyncPolicy) {
 	if testing.Short() {
 		t.Skip("spawns a child process")
 	}
 	dir := t.TempDir()
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChildHelper$", "-test.v")
-	cmd.Env = append(os.Environ(), "AMF_CRASH_CHILD=1", "AMF_CRASH_DIR="+dir)
+	cmd.Env = append(os.Environ(), "AMF_CRASH_CHILD=1", "AMF_CRASH_DIR="+dir,
+		"AMF_CRASH_FSYNC="+sync.String())
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -400,7 +424,7 @@ func TestDurableKillRestart(t *testing.T) {
 	_, _ = cmd.Process.Wait()
 
 	// Recover the directory in-process and verify zero acked loss.
-	svc, _, rs := durableServer(t, dir, store.SyncAlways)
+	svc, _, rs := durableServer(t, dir, sync)
 	defer svc.Close()
 	if rs.Samples < len(acked) {
 		t.Errorf("recovered %d samples, want >= %d acked", rs.Samples, len(acked))

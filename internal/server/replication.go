@@ -110,13 +110,16 @@ func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
 }
 
 // handleReplicateWAL streams WAL records with seq > from to a follower.
-// Long-poll: when the log has nothing past from, the handler waits up to
-// wait_ms (capped at 30s) for new appends before answering, so followers
-// idle at one outstanding request instead of hammering. The response
-// carries X-Amf-Wal-Seq = the leader's current tail, which is how
-// followers measure lag. Streams are tracked so graceful shutdown can
-// drain them (DrainReplication); a follower disconnecting mid-stream is
-// logged, never fatal.
+// Long-poll: when the log has nothing shippable past from, the handler
+// subscribes to the WAL's commit notifications and wakes the moment the
+// commit index advances — a follower sees new records within the fsync
+// latency, not the poll tick — bounded by wait_ms (capped at 30s) with
+// the old poll tick kept as a fallback timeout. The response carries
+// X-Amf-Wal-Seq = the leader's current shippable tail (the durable
+// commit index under fsync=group), which is how followers measure lag.
+// Streams are tracked so graceful shutdown can drain them
+// (DrainReplication); a follower disconnecting mid-stream is logged,
+// never fatal.
 func (s *Server) handleReplicateWAL(w http.ResponseWriter, r *http.Request) {
 	if s.durable == nil {
 		s.countError(w, http.StatusNotImplemented, "replication requires a durable store (-data-dir)")
@@ -159,15 +162,28 @@ func (s *Server) handleReplicateWAL(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	wal := s.durable.WAL()
+	// shipTail is the newest sequence number this poll may ship: the
+	// durable commit index under fsync=group/always (shipping records
+	// whose covering fsync has not landed would let a follower get ahead
+	// of a crashed leader), the appended tail under the lossy policies.
+	shipTail := wal.DurableSeq
+	commits, cancel := wal.SubscribeCommits()
+	defer cancel()
 	deadline := time.Now().Add(wait)
-	for wal.LastSeq() <= from && time.Now().Before(deadline) && !s.closed.Load() {
+	for shipTail() <= from && time.Now().Before(deadline) && !s.closed.Load() {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-commits:
+			// The commit index advanced (or the WAL hit a terminal state,
+			// which the loop condition re-checks): answer now instead of
+			// sleeping out the poll tick.
 		case <-time.After(replPollTick):
+			// Fallback timeout: notifications are coalesced best-effort,
+			// so never trust them exclusively.
 		}
 	}
-	tail := wal.LastSeq()
+	tail := shipTail()
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-Amf-Wal-Seq", strconv.FormatUint(tail, 10))

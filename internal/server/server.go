@@ -393,6 +393,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		sp.Annotate("engine_journal", tm.Journal)
 		sp.Annotate("engine_apply", tm.Apply)
 		sp.Annotate("engine_publish", tm.Publish)
+		sp.Annotate("engine_commit_wait", tm.CommitWait)
 	} else {
 		s.eng.ObserveAll(samples)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -50,6 +52,89 @@ func BenchmarkWALAppend(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+func openBenchWAL(b *testing.B, pol SyncPolicy) *WAL {
+	b.Helper()
+	w, err := OpenWAL(b.TempDir(), WALOptions{Sync: pol, Logger: quietLog()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { w.Close() })
+	return w
+}
+
+func medianNs(ds []time.Duration) float64 {
+	cp := append([]time.Duration(nil), ds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return float64(cp[len(cp)/2])
+}
+
+// BenchmarkWALGroupCommit measures the durable-ack cost per append when P
+// concurrent writers contend for the log, pairing the three policies
+// inside one iteration so they see identical filesystem state:
+//
+//   - always: AppendSamples alone — the record is durable when Append
+//     returns (one fsync per record, serialized under the WAL mutex).
+//   - group: AppendSamples + WaitDurable — the same durability guarantee,
+//     but concurrent writers share one covering fsync per window.
+//   - interval: AppendSamples alone — the bounded-loss baseline (no
+//     fsync on the append path at all), the floor group commit chases.
+//
+// Writers each issue a few back-to-back appends so the group window sees
+// sustained concurrency rather than a single synchronized burst. The
+// group-speedup-x extra is the acceptance metric: durable acks per
+// second under group vs always at the same writer count.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	const opsPerWriter = 4
+	batch := benchSamples(16)
+	for _, p := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			wAlways := openBenchWAL(b, SyncAlways)
+			wGroup := openBenchWAL(b, SyncGroup)
+			wInterval := openBenchWAL(b, SyncInterval)
+			arm := func(w *WAL, waitDurable bool) time.Duration {
+				var wg sync.WaitGroup
+				start := time.Now()
+				for g := 0; g < p; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for k := 0; k < opsPerWriter; k++ {
+							seq, err := w.AppendSamples(batch)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if waitDurable {
+								if err := w.WaitDurable(seq); err != nil {
+									b.Error(err)
+								}
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				return time.Since(start)
+			}
+			al := make([]time.Duration, b.N)
+			gl := make([]time.Duration, b.N)
+			il := make([]time.Duration, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				al[i] = arm(wAlways, false)
+				gl[i] = arm(wGroup, true)
+				il[i] = arm(wInterval, false)
+			}
+			b.StopTimer()
+			ops := float64(p * opsPerWriter)
+			a50, g50, i50 := medianNs(al), medianNs(gl), medianNs(il)
+			b.ReportMetric(a50/ops, "always-p50-ns/append")
+			b.ReportMetric(g50/ops, "group-p50-ns/append")
+			b.ReportMetric(i50/ops, "interval-p50-ns/append")
+			b.ReportMetric(a50/g50, "group-speedup-x")
 		})
 	}
 }

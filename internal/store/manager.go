@@ -19,6 +19,12 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncInterval is the flush cadence under SyncInterval (default 100ms).
 	SyncInterval time.Duration
+	// GroupWindow is the max-latency bound under SyncGroup (default
+	// DefaultGroupWindow).
+	GroupWindow time.Duration
+	// GroupBytes is the early-fsync byte trigger under SyncGroup
+	// (default DefaultGroupBytes).
+	GroupBytes int64
 	// CheckpointInterval is the background checkpoint cadence
 	// (default 1 minute).
 	CheckpointInterval time.Duration
@@ -130,6 +136,8 @@ func Open(dir string, opts Options) (*Manager, error) {
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
+		GroupWindow:  opts.GroupWindow,
+		GroupBytes:   opts.GroupBytes,
 		Metrics:      met,
 		Logger:       opts.Logger,
 	})

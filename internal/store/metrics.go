@@ -19,6 +19,12 @@ type Metrics struct {
 	// Checkpoint is the end-to-end checkpoint latency (state capture +
 	// atomic write + WAL truncation), in seconds.
 	Checkpoint *obs.Histogram
+	// GroupBatch is the number of records covered by each group-commit
+	// fsync — the batching factor concurrent writers actually achieved.
+	GroupBatch *obs.Histogram
+
+	// GroupCommits counts group-commit fsyncs (each covers one batch).
+	GroupCommits atomic.Int64
 
 	// Appends counts records appended to the WAL.
 	Appends atomic.Int64
@@ -50,6 +56,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		Fsync:      obs.NewHistogram(1e-6, 60, 8),
 		Checkpoint: obs.NewHistogram(1e-4, 600, 8),
+		GroupBatch: obs.NewHistogram(1, 1e6, 8),
 		startNano:  time.Now().UnixNano(),
 	}
 }

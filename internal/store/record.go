@@ -100,6 +100,16 @@ func EncodeSamples(ss []stream.Sample) []byte {
 // finite (mirroring the old text parser's rejection of NaN/Inf), so a
 // corrupted-but-CRC-colliding record cannot poison the model.
 func DecodeSamples(p []byte) ([]stream.Sample, error) {
+	return DecodeSamplesInto(nil, p)
+}
+
+// DecodeSamplesInto is DecodeSamples decoding into scratch's backing
+// array when it is large enough (scratch is resliced, never grown in
+// place past its capacity). Replay-heavy paths pass a reused buffer so
+// a million-record replay costs a handful of allocations instead of one
+// slice per record; the returned slice is only valid until scratch is
+// reused.
+func DecodeSamplesInto(scratch []stream.Sample, p []byte) ([]stream.Sample, error) {
 	if len(p) < 5 || EntryKind(p[0]) != EntrySamples {
 		return nil, fmt.Errorf("store: not a samples payload")
 	}
@@ -107,7 +117,11 @@ func DecodeSamples(p []byte) ([]stream.Sample, error) {
 	if len(p)-5 != n*sampleWire {
 		return nil, fmt.Errorf("store: samples payload: count %d does not match %d payload bytes", n, len(p)-5)
 	}
-	out := make([]stream.Sample, n)
+	out := scratch
+	if cap(out) < n {
+		out = make([]stream.Sample, n)
+	}
+	out = out[:n]
 	off := 5
 	for i := range out {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(p[off+24:]))
@@ -145,12 +159,20 @@ func encodeRegister(kind EntryKind, id int, name string) []byte {
 
 // DecodeEntry decodes a record payload into a typed Entry.
 func DecodeEntry(seq uint64, p []byte) (Entry, error) {
+	return decodeEntryInto(nil, seq, p)
+}
+
+// decodeEntryInto is DecodeEntry with a reusable sample scratch buffer
+// (see DecodeSamplesInto): the returned Entry's Samples alias scratch's
+// backing array when it is large enough, so the Entry is only valid
+// until the scratch is reused.
+func decodeEntryInto(scratch []stream.Sample, seq uint64, p []byte) (Entry, error) {
 	if len(p) == 0 {
 		return Entry{}, fmt.Errorf("store: empty record payload")
 	}
 	switch EntryKind(p[0]) {
 	case EntrySamples:
-		ss, err := DecodeSamples(p)
+		ss, err := DecodeSamplesInto(scratch, p)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -181,9 +203,7 @@ func encodeRecord(seq uint64, payload []byte) []byte {
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(rec[8:16], seq)
 	copy(rec[recHeaderSize:], payload)
-	crc := crc32.Update(0, crcTable, rec[8:16])
-	crc = crc32.Update(crc, crcTable, payload)
-	binary.LittleEndian.PutUint32(rec[4:8], crc)
+	binary.LittleEndian.PutUint32(rec[4:8], recordCRC(seq, payload))
 	return rec
 }
 
@@ -195,10 +215,18 @@ func decodeRecordHeader(h []byte) (plen int, crc uint32, seq uint64) {
 		binary.LittleEndian.Uint64(h[8:16])
 }
 
-// recordCRC computes the CRC of a record body (seq || payload).
+// recordCRC computes the CRC of a record body (seq || payload). The
+// seq prefix is folded in by a per-byte table walk instead of
+// crc32.Update over a stack buffer: Update's slice parameter escapes,
+// which would cost a heap allocation per record on the scan/replay and
+// append paths. The table walk is bit-identical to hashing the 8
+// little-endian seq bytes (Update conditions the running CRC with ^ on
+// entry and exit, so the raw state threads through).
 func recordCRC(seq uint64, payload []byte) uint32 {
-	var sb [8]byte
-	binary.LittleEndian.PutUint64(sb[:], seq)
-	crc := crc32.Update(0, crcTable, sb[:])
-	return crc32.Update(crc, crcTable, payload)
+	crc := ^uint32(0)
+	for i := 0; i < 8; i++ {
+		crc = crcTable[byte(crc)^byte(seq)] ^ (crc >> 8)
+		seq >>= 8
+	}
+	return crc32.Update(^crc, crcTable, payload)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+
+	"github.com/qoslab/amf/internal/stream"
 )
 
 // This file is the WAL-shipping half of the replication protocol: the
@@ -20,11 +22,17 @@ import (
 // the segment files, in order, verifying sequence continuity, and hands
 // each (seq, payload) pair to fn before decoding. It is the shared
 // traversal under both Replay (decode into Entries) and StreamSince
-// (re-frame onto a wire). Must not run concurrently with appends.
-func (w *WAL) replayRaw(from uint64, fn func(seq uint64, payload []byte) error) error {
-	// Make sure everything buffered is visible to the file reads below.
-	if err := w.Sync(); err != nil {
-		return err
+// (re-frame onto a wire). Must not run concurrently with appends —
+// except when bound > 0, which stops the walk at that sequence number
+// WITHOUT forcing a sync first: the caller asserts every record <= bound
+// is already flushed and durable (the group-commit durable prefix), so
+// the scan never races the appending tail.
+func (w *WAL) replayRaw(from, bound uint64, fn func(seq uint64, payload []byte) error) error {
+	if bound == 0 {
+		// Make sure everything buffered is visible to the file reads below.
+		if err := w.Sync(); err != nil {
+			return err
+		}
 	}
 	w.mu.Lock()
 	segs := make([]walSegment, len(w.segments))
@@ -41,6 +49,9 @@ func (w *WAL) replayRaw(from uint64, fn func(seq uint64, payload []byte) error) 
 			if seq <= from {
 				return nil
 			}
+			if bound > 0 && seq > bound {
+				return errPastBound
+			}
 			if seq != next {
 				return fmt.Errorf("store: wal gap: expected seq %d, found %d in %s", next, seq, seg.name)
 			}
@@ -50,6 +61,9 @@ func (w *WAL) replayRaw(from uint64, fn func(seq uint64, payload []byte) error) 
 			next = seq + 1
 			return nil
 		})
+		if errors.Is(err, errPastBound) {
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -68,11 +82,23 @@ func (w *WAL) replayRaw(from uint64, fn func(seq uint64, payload []byte) error) 
 // leader's replication endpoint calls this against a live WAL: appends
 // may race the stream, in which case the stream simply ends at whatever
 // tail the segment scan saw — followers pick the rest up on their next
-// poll.
+// poll. Under the group-commit fsync policy only the DURABLE prefix is
+// shipped (bounded at DurableSeq, no forced sync): shipping records
+// whose covering fsync has not landed would let a follower apply state
+// the leader itself loses in a crash — divergence, not replication —
+// and forcing a sync per poll would defeat the batching the policy
+// exists for.
 func (w *WAL) StreamSince(from uint64, dst io.Writer, maxBytes int64) (last uint64, err error) {
 	last = from
+	var bound uint64
+	if w.opts.Sync == SyncGroup {
+		bound = w.DurableSeq()
+		if bound <= from {
+			return from, nil
+		}
+	}
 	var written int64
-	err = w.replayRaw(from, func(seq uint64, payload []byte) error {
+	err = w.replayRaw(from, bound, func(seq uint64, payload []byte) error {
 		rec := encodeRecord(seq, payload)
 		if maxBytes > 0 && written > 0 && written+int64(len(rec)) > maxBytes {
 			return errStreamFull
@@ -94,6 +120,10 @@ func (w *WAL) StreamSince(from uint64, dst io.Writer, maxBytes int64) (last uint
 // segment walk at the byte budget.
 var errStreamFull = errors.New("store: stream budget reached")
 
+// errPastBound is the internal sentinel replayRaw uses to stop the
+// segment walk at the caller's durable bound.
+var errPastBound = errors.New("store: replay bound reached")
+
 // RecordReader decodes a stream of framed WAL records (the body of a
 // replication response) back into Entries. It verifies each record's CRC
 // and, from the second record on, sequence continuity — a gap means the
@@ -103,6 +133,7 @@ type RecordReader struct {
 	br      *bufio.Reader
 	header  [recHeaderSize]byte
 	payload []byte
+	samples []stream.Sample // decode scratch, reused across Next calls
 	prev    uint64
 	started bool
 }
@@ -113,7 +144,10 @@ func NewRecordReader(r io.Reader) *RecordReader {
 }
 
 // Next returns the next decoded entry. It returns io.EOF at a clean end
-// of stream; any other error means the stream is torn or corrupt.
+// of stream; any other error means the stream is torn or corrupt. The
+// returned Entry reuses the reader's decode buffers — its Samples are
+// only valid until the next call to Next, so callers that retain them
+// must copy (applyStream copies element-wise into the apply batch).
 func (rr *RecordReader) Next() (Entry, error) {
 	if _, err := io.ReadFull(rr.br, rr.header[:]); err != nil {
 		if err == io.EOF {
@@ -140,5 +174,9 @@ func (rr *RecordReader) Next() (Entry, error) {
 	}
 	rr.started = true
 	rr.prev = seq
-	return DecodeEntry(seq, rr.payload)
+	e, err := decodeEntryInto(rr.samples, seq, rr.payload)
+	if err == nil && cap(e.Samples) > cap(rr.samples) {
+		rr.samples = e.Samples[:cap(e.Samples)]
+	}
+	return e, err
 }

@@ -68,6 +68,7 @@ func TestStreamSinceRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Next: %v", err)
 		}
+		e.Samples = append([]stream.Sample(nil), e.Samples...)
 		entries = append(entries, e)
 	}
 	if len(entries) != 5 {

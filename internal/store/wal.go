@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"container/heap"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/qoslab/amf/internal/stream"
@@ -30,6 +32,13 @@ const (
 	// SyncOff never fsyncs explicitly (buffers are still flushed on
 	// rotation and close); the OS decides when data hits disk.
 	SyncOff
+	// SyncGroup batches concurrent appends under one fsync (group
+	// commit): Append returns a sequence number immediately and
+	// WaitDurable(seq) parks until a covering fsync lands. The commit
+	// coordinator fsyncs as soon as a waiter is parked (so a lone writer
+	// pays ~one fsync of latency, never the full window) and otherwise
+	// within GroupWindow or GroupBytes of the first buffered byte.
+	SyncGroup
 )
 
 // ParseSyncPolicy maps the -fsync flag values to a policy.
@@ -41,8 +50,10 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		return SyncInterval, nil
 	case "off", "none":
 		return SyncOff, nil
+	case "group":
+		return SyncGroup, nil
 	}
-	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or off)", s)
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, group, or off)", s)
 }
 
 func (p SyncPolicy) String() string {
@@ -51,6 +62,8 @@ func (p SyncPolicy) String() string {
 		return "always"
 	case SyncOff:
 		return "off"
+	case SyncGroup:
+		return "group"
 	}
 	return "interval"
 }
@@ -65,6 +78,14 @@ const (
 	DefaultSegmentBytes = int64(64 << 20)
 	// DefaultSyncInterval is the SyncInterval flush cadence.
 	DefaultSyncInterval = 100 * time.Millisecond
+	// DefaultGroupWindow bounds how long a SyncGroup append may sit
+	// buffered before a covering fsync starts. It is a MAXIMUM latency
+	// bound, not a batching delay: a parked WaitDurable triggers an
+	// immediate fsync.
+	DefaultGroupWindow = time.Millisecond
+	// DefaultGroupBytes triggers an early group fsync once this many
+	// bytes are buffered, regardless of the window.
+	DefaultGroupBytes = int64(1 << 20)
 )
 
 // ErrWALFailed is returned by appends after a write error has poisoned
@@ -81,6 +102,14 @@ type WALOptions struct {
 	Sync SyncPolicy
 	// SyncInterval is the flush cadence under SyncInterval.
 	SyncInterval time.Duration
+	// GroupWindow is the max-latency bound under SyncGroup: a buffered
+	// append is covered by an fsync no later than this after it was
+	// written (sooner when a WaitDurable caller is parked or GroupBytes
+	// accumulate). Default DefaultGroupWindow.
+	GroupWindow time.Duration
+	// GroupBytes triggers an early group fsync once this many buffered
+	// bytes are pending under SyncGroup. Default DefaultGroupBytes.
+	GroupBytes int64
 	// Metrics is an optional shared sink (fsync latency, bytes,
 	// segment gauge). NewMetrics() is used when nil.
 	Metrics *Metrics
@@ -94,6 +123,12 @@ func (o WALOptions) withDefaults() WALOptions {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.GroupWindow <= 0 {
+		o.GroupWindow = DefaultGroupWindow
+	}
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = DefaultGroupBytes
 	}
 	if o.Metrics == nil {
 		o.Metrics = NewMetrics()
@@ -129,8 +164,46 @@ type WAL struct {
 	fenced   bool // another process claimed the directory; see fence.go
 	closed   bool
 
+	// Group-commit state (see commitLoop). durable is the commit index:
+	// every record with seq <= durable is on stable storage. waiters is
+	// a min-heap ordered by seq so completion is published in seq order;
+	// subs are commit-notification subscribers (replication long-poll,
+	// see SubscribeCommits). syncing marks an fsync in flight outside
+	// the mutex; syncDone is broadcast when it lands.
+	durable      uint64
+	durableAt    atomic.Uint64 // mirror of durable for lock-free reads
+	waiters      durableWaiters
+	subs         []chan struct{}
+	syncing      bool
+	syncDone     *sync.Cond // on mu
+	commitCh     chan struct{}
+	pendingSince time.Time // first buffered group append since last fsync start
+	pendingBytes int64     // buffered group bytes since last fsync start
+
 	stopFlush chan struct{}
 	flushWG   sync.WaitGroup
+}
+
+// durableWaiter is one parked WaitDurable call.
+type durableWaiter struct {
+	seq uint64
+	ch  chan error // buffered(1); receives nil once durable, or the failure
+}
+
+// durableWaiters is a min-heap by seq (container/heap).
+type durableWaiters []durableWaiter
+
+func (h durableWaiters) Len() int            { return len(h) }
+func (h durableWaiters) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h durableWaiters) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durableWaiters) Push(x interface{}) { *h = append(*h, x.(durableWaiter)) }
+func (h *durableWaiters) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = durableWaiter{}
+	*h = old[:n-1]
+	return x
 }
 
 // OpenWAL opens (or creates) a segmented log in dir. The final segment's
@@ -198,10 +271,20 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		}
 	}
 	w.met.Segments.Store(int64(len(w.segments)))
-	if opts.Sync == SyncInterval {
+	w.syncDone = sync.NewCond(&w.mu)
+	// Everything intact on disk at open is durable by definition.
+	w.durable = w.seq
+	w.durableAt.Store(w.seq)
+	switch opts.Sync {
+	case SyncInterval:
 		w.stopFlush = make(chan struct{})
 		w.flushWG.Add(1)
 		go w.flushLoop()
+	case SyncGroup:
+		w.stopFlush = make(chan struct{})
+		w.commitCh = make(chan struct{}, 1)
+		w.flushWG.Add(1)
+		go w.commitLoop()
 	}
 	return w, nil
 }
@@ -432,12 +515,278 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.dirty = true
 	w.met.Appends.Add(1)
 	w.met.Bytes.Add(recSize)
-	if w.opts.Sync == SyncAlways {
+	switch w.opts.Sync {
+	case SyncAlways:
 		if err := w.syncLocked(); err != nil {
 			return w.seq, err
 		}
+	case SyncGroup:
+		if w.pendingSince.IsZero() {
+			w.pendingSince = time.Now()
+		}
+		w.pendingBytes += recSize
+		w.signalCommit()
+	default:
+		// Interval/off: the record is shippable (the replication tail is
+		// LastSeq under lossy policies), so wake commit subscribers now.
+		w.notifySubsLocked()
 	}
 	return w.seq, nil
+}
+
+// signalCommit nudges the group-commit coordinator (non-blocking; no-op
+// for non-group policies).
+func (w *WAL) signalCommit() {
+	if w.commitCh == nil {
+		return
+	}
+	select {
+	case w.commitCh <- struct{}{}:
+	default:
+	}
+}
+
+// WaitDurable blocks until the record with the given sequence number is
+// on stable storage, returning nil once it is. Under SyncAlways the
+// record is durable before Append returns, so this is instant; under
+// SyncOff durability is explicitly waived by policy and this returns nil
+// immediately. A parked waiter is rejected with ErrFenced when the
+// directory is fenced and ErrWALFailed when an append or fsync poisons
+// the log — an error here means the ack MUST NOT be sent.
+func (w *WAL) WaitDurable(seq uint64) error {
+	if w.durableAt.Load() >= seq {
+		return nil
+	}
+	w.mu.Lock()
+	if seq <= w.durable {
+		w.mu.Unlock()
+		return nil
+	}
+	if w.fenced {
+		w.mu.Unlock()
+		return ErrFenced
+	}
+	if w.failed {
+		w.mu.Unlock()
+		return ErrWALFailed
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("store: wait-durable on closed wal")
+	}
+	if w.opts.Sync == SyncOff {
+		w.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	heap.Push(&w.waiters, durableWaiter{seq: seq, ch: ch})
+	w.mu.Unlock()
+	// A parked waiter makes the pending window urgent: fsync now rather
+	// than waiting out the latency bound.
+	w.signalCommit()
+	return <-ch
+}
+
+// DurableSeq returns the durable commit index: the highest sequence
+// number known to be on stable storage. Under lossy policies (interval/
+// off) durability is not tracked per record and the appended tail is
+// returned — that is the shippable tail those policies promise.
+func (w *WAL) DurableSeq() uint64 {
+	if w.opts.Sync == SyncGroup || w.opts.Sync == SyncAlways {
+		return w.durableAt.Load()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// GroupCommit reports whether this WAL runs the group-commit
+// coordinator (fsync policy "group").
+func (w *WAL) GroupCommit() bool { return w.opts.Sync == SyncGroup }
+
+// SubscribeCommits registers a commit-notification channel: it receives
+// (coalesced, non-blocking) signals whenever the shippable tail advances
+// — a durable-commit-index advance under always/group, any append under
+// interval/off — and on fence, failure, or close. The returned cancel
+// func unregisters the channel.
+func (w *WAL) SubscribeCommits() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	w.mu.Lock()
+	w.subs = append(w.subs, ch)
+	w.mu.Unlock()
+	cancel := func() {
+		w.mu.Lock()
+		for i, c := range w.subs {
+			if c == ch {
+				w.subs = append(w.subs[:i], w.subs[i+1:]...)
+				break
+			}
+		}
+		w.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+func (w *WAL) notifySubsLocked() {
+	for _, ch := range w.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// advanceDurableLocked publishes a new durable commit index, completing
+// parked waiters in seq order and waking commit subscribers.
+func (w *WAL) advanceDurableLocked(seq uint64) {
+	if seq <= w.durable {
+		return
+	}
+	w.durable = seq
+	w.durableAt.Store(seq)
+	for len(w.waiters) > 0 && w.waiters[0].seq <= seq {
+		wt := heap.Pop(&w.waiters).(durableWaiter)
+		wt.ch <- nil
+	}
+	w.notifySubsLocked()
+}
+
+// failWaitersLocked rejects every parked waiter with err (fence, write
+// failure, or close — in all three cases the covering fsync will never
+// happen) and wakes subscribers so they observe the terminal state.
+func (w *WAL) failWaitersLocked(err error) {
+	for len(w.waiters) > 0 {
+		wt := heap.Pop(&w.waiters).(durableWaiter)
+		wt.ch <- err
+	}
+	w.notifySubsLocked()
+}
+
+// awaitSyncLocked blocks (releasing the mutex) until no group fsync is
+// in flight. Rotation, Close, AdvanceTo, and inline syncs must not
+// flush, close, or reuse the segment file underneath one.
+func (w *WAL) awaitSyncLocked() {
+	for w.syncing {
+		w.syncDone.Wait()
+	}
+}
+
+// oldestWaiterSeqLocked returns the smallest parked waiter seq, or
+// ^uint64(0) when none is parked.
+func (w *WAL) oldestWaiterSeqLocked() uint64 {
+	if len(w.waiters) == 0 {
+		return ^uint64(0)
+	}
+	return w.waiters[0].seq
+}
+
+// commitLoop is the SyncGroup coordinator. It sleeps until an append or
+// waiter signals it, then fsyncs immediately when the window is urgent —
+// a waiter is parked on an already-appended record, GroupBytes have
+// accumulated, or the window expired — and otherwise dozes out the
+// remainder of the window so independent appends coalesce. Batching
+// under load arises naturally: appends arriving while an fsync is in
+// flight buffer into the next window, so P concurrent durable writers
+// share ~one fsync per device round-trip instead of paying one each.
+func (w *WAL) commitLoop() {
+	defer w.flushWG.Done()
+	for {
+		select {
+		case <-w.stopFlush:
+			return
+		case <-w.commitCh:
+		}
+		for {
+			w.mu.Lock()
+			if w.closed || w.fenced || w.failed {
+				// Close/Fence/the failing sync already settled waiters.
+				w.mu.Unlock()
+				return
+			}
+			if w.durable == w.seq && !w.dirty {
+				w.mu.Unlock()
+				break // drained; park until the next signal
+			}
+			urgent := w.pendingBytes >= w.opts.GroupBytes ||
+				w.oldestWaiterSeqLocked() <= w.seq
+			var wait time.Duration
+			if !urgent {
+				wait = w.opts.GroupWindow - time.Since(w.pendingSince)
+				if wait <= 0 {
+					urgent = true
+				}
+			}
+			if urgent {
+				w.groupSyncLocked() // releases the mutex
+				continue
+			}
+			w.mu.Unlock()
+			t := time.NewTimer(wait)
+			select {
+			case <-w.stopFlush:
+				t.Stop()
+				return
+			case <-w.commitCh:
+				t.Stop()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// groupSyncLocked runs one group fsync covering everything appended so
+// far. Called with the mutex held; returns with it released. The fsync
+// itself runs OUTSIDE the mutex so appends keep flowing into the next
+// window while the device round-trip is in flight — that overlap is the
+// whole point of group commit.
+func (w *WAL) groupSyncLocked() {
+	defer w.mu.Unlock()
+	w.awaitSyncLocked()
+	if w.closed || w.fenced || w.failed {
+		return
+	}
+	target := w.seq
+	if target <= w.durable && !w.dirty {
+		return
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.failed = true
+		w.met.Errors.Add(1)
+		w.failWaitersLocked(ErrWALFailed)
+		w.log.Warn("wal: group flush failed", "err", err)
+		return
+	}
+	recs := target - w.durable
+	f := w.f
+	w.syncing = true
+	w.dirty = false
+	w.pendingSince = time.Time{}
+	w.pendingBytes = 0
+	w.mu.Unlock()
+
+	start := time.Now()
+	err := f.Sync()
+
+	w.mu.Lock()
+	w.syncing = false
+	w.syncDone.Broadcast()
+	if err != nil {
+		w.failed = true
+		w.met.Errors.Add(1)
+		w.failWaitersLocked(ErrWALFailed)
+		w.log.Warn("wal: group fsync failed", "err", err)
+		return
+	}
+	w.met.Fsync.Observe(time.Since(start).Seconds())
+	w.met.GroupCommits.Add(1)
+	w.met.GroupBatch.Observe(float64(recs))
+	if w.fenced {
+		// The fence raced the fsync: the bytes hit disk, but the waiters
+		// were already rejected and the lineage is abandoned — do not
+		// advance the commit index of a log we no longer own.
+		return
+	}
+	w.advanceDurableLocked(target)
 }
 
 // Sync flushes buffered appends and fsyncs the current segment.
@@ -458,30 +807,51 @@ func (w *WAL) Sync() error {
 func (w *WAL) Fence() {
 	w.mu.Lock()
 	w.fenced = true
+	// Drop — never flush — the displaced owner's pending window, and
+	// reject every parked WaitDurable: their covering fsync will never
+	// happen here.
 	w.dirty = false
+	w.pendingSince = time.Time{}
+	w.pendingBytes = 0
+	w.failWaitersLocked(ErrFenced)
 	w.mu.Unlock()
 }
 
 func (w *WAL) syncLocked() error {
+	// Never flush or fsync underneath an in-flight group fsync: the
+	// coordinator owns the file until it lands.
+	w.awaitSyncLocked()
 	if w.fenced {
 		return ErrFenced
 	}
+	if w.failed {
+		// A poisoned log must not report a clean sync: callers like the
+		// checkpoint barrier would otherwise claim sequence numbers past
+		// an undefined tail.
+		return ErrWALFailed
+	}
 	if !w.dirty {
+		w.advanceDurableLocked(w.seq)
 		return nil
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.failed = true
 		w.met.Errors.Add(1)
+		w.failWaitersLocked(ErrWALFailed)
 		return fmt.Errorf("store: flush wal: %w", err)
 	}
 	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.failed = true
 		w.met.Errors.Add(1)
+		w.failWaitersLocked(ErrWALFailed)
 		return fmt.Errorf("store: fsync wal: %w", err)
 	}
 	w.met.Fsync.Observe(time.Since(start).Seconds())
 	w.dirty = false
+	w.pendingSince = time.Time{}
+	w.pendingBytes = 0
+	w.advanceDurableLocked(w.seq)
 	return nil
 }
 
@@ -591,11 +961,21 @@ func (w *WAL) TruncateThrough(seq uint64) error {
 // pretend otherwise. Replay must not run concurrently with appends; the
 // recovery path calls it before the engine starts journaling. (The
 // segment traversal itself is shared with StreamSince — see replicate.go.)
+//
+// The Entry handed to fn reuses one decode buffer across records:
+// e.Samples is only valid during the callback, so a callback that
+// retains samples must copy them out (recovery appliers copy element-
+// wise anyway; this is what keeps a million-record replay at a handful
+// of allocations instead of one slice per record).
 func (w *WAL) Replay(from uint64, fn func(Entry) error) error {
-	return w.replayRaw(from, func(seq uint64, payload []byte) error {
-		e, err := DecodeEntry(seq, payload)
+	var scratch []stream.Sample
+	return w.replayRaw(from, 0, func(seq uint64, payload []byte) error {
+		e, err := decodeEntryInto(scratch, seq, payload)
 		if err != nil {
 			return fmt.Errorf("store: wal seq %d: %w", seq, err)
+		}
+		if cap(e.Samples) > cap(scratch) {
+			scratch = e.Samples[:cap(e.Samples)]
 		}
 		return fn(e)
 	})
@@ -637,6 +1017,7 @@ func (w *WAL) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.awaitSyncLocked()
 	var err error
 	if w.f != nil {
 		// A fenced log closes without flushing: the buffered bytes
@@ -655,11 +1036,18 @@ func (w *WAL) Close() error {
 				}
 				w.dirty = false
 			}
+			if err == nil && !w.failed {
+				// The close fsync covered the whole tail: complete any
+				// waiters the stopped coordinator left behind.
+				w.advanceDurableLocked(w.seq)
+			}
 		}
 		if cerr := w.f.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("store: close wal: %w", cerr)
 		}
 		w.f = nil
 	}
+	// Whatever is still parked can never become durable now.
+	w.failWaitersLocked(errors.New("store: wal closed with waiters parked"))
 	return err
 }

@@ -44,6 +44,9 @@ func replayAll(t *testing.T, w *WAL, from uint64) []Entry {
 	t.Helper()
 	var out []Entry
 	if err := w.Replay(from, func(e Entry) error {
+		// Replay reuses its decode buffer across records; retained
+		// entries must copy their samples out.
+		e.Samples = append([]stream.Sample(nil), e.Samples...)
 		out = append(out, e)
 		return nil
 	}); err != nil {
