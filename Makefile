@@ -10,14 +10,14 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/qoslab/amf/internal/obs.buildVersion=$(VERSION) \
            -X github.com/qoslab/amf/internal/obs.buildCommit=$(COMMIT)
 
-.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-wal bench-cluster bench-kernels test-cluster test-noasm build-arm64 lint-metrics fuzz ci experiments experiments-paper examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-rank bench-train bench-recovery bench-wal bench-cluster bench-kernels bench-overload test-cluster test-overload test-noasm build-arm64 lint-metrics lint-tunables fuzz ci experiments experiments-paper examples clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): full build + vet + tests,
 # the metrics-docs lint, plus the race detector over the concurrent
 # internals and the observability smoke check.
-ci: build vet test lint-metrics bench-smoke test-cluster test-noasm build-arm64
+ci: build vet test lint-metrics lint-tunables bench-smoke test-cluster test-overload test-noasm build-arm64
 	$(GO) test -race ./internal/...
 
 # Portable-kernel leg: the SIMD assembly (internal/matrix) ships with a
@@ -40,6 +40,20 @@ build:
 # if any amf_* name is missing from README.md's metrics tables.
 lint-metrics:
 	$(GO) test -run TestMetricsDocumented ./internal/cluster/
+
+# Tunables-docs lint: registers every control-plane tunable (engine +
+# admission gate) and fails if any is missing from README.md's tunables
+# table — same pattern as lint-metrics.
+lint-tunables:
+	$(GO) test -run TestTunablesDocumented ./internal/cluster/
+
+# Overload-control gate: the class-contract stress tests (critical is
+# never shed while sheddable is), the epoch-controller convergence
+# suite, and the gateway edge-shed tests, all under the race detector.
+test-overload:
+	$(GO) test -race ./internal/control/
+	$(GO) test -race -run 'TestAdmission|TestShedAccountingFold|TestConfigAPI|TestAdaptation' ./internal/server/
+	$(GO) test -race -run 'TestGatewayEdgeShed|TestGatewayUnavailable' ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +79,7 @@ bench:
 bench-smoke: vet
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run=NONE -bench=BenchmarkPredictPath -benchtime=0.3s ./internal/server/
+	$(GO) test -run=NONE -bench=BenchmarkAdmissionGate -benchtime=0.2s ./internal/server/
 	$(GO) test -run=NONE -bench='BenchmarkDotBatch/paired/rows=1000$$' -benchtime=0.2s ./internal/matrix/
 	$(GO) test -run=NONE -bench='BenchmarkTopK/10k' -benchmem -benchtime=0.2s ./internal/core/
 	$(GO) test -run=NONE -bench='BenchmarkTrainThroughput/workers=(1|4)$$' -benchtime=0.2s ./internal/core/
@@ -131,6 +146,15 @@ test-cluster:
 bench-cluster:
 	$(GO) test -run=NONE -bench='BenchmarkGateway|BenchmarkReplicationLag' -benchmem -benchtime=1s ./internal/cluster/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_cluster.json
+
+# Open-loop overload ramp (0.5x/1x/2x/4x of the calibrated sustainable
+# rate, 20/40/40 critical/standard/sheddable mix) against an in-process
+# server with the SLO admission gate and epoch adaptation enabled,
+# archived as BENCH_overload.json: per-class goodput/shed-rate/latency
+# and which tunables the controller moved. The acceptance bar: critical
+# goodput >= 0.99 at 4x while the sheddable class absorbs the loss.
+bench-overload:
+	$(GO) run ./cmd/amfbench -mode overload -o BENCH_overload.json
 
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriplets -fuzztime=30s ./internal/dataset/

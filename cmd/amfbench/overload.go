@@ -1,0 +1,362 @@
+package main
+
+// amfbench -mode overload: an open-loop overload generator against an
+// in-process amfserver with the SLO admission gate and the epoch
+// controller enabled. It calibrates the sustainable request rate
+// closed-loop, then ramps an open-loop arrival process through
+// 0.5x/1x/2x/4x of it with a fixed class mix (20% critical,
+// 40% standard, 40% sheddable), and reports per-class goodput, shed
+// rate, and latency percentiles plus which tunables the controller
+// moved — written to BENCH_overload.json (make bench-overload).
+//
+// The point of the exercise is the issue's acceptance bar: at 4x the
+// sustainable rate with admission on, critical-class goodput stays
+// >= 99% while the sheddable class absorbs the loss, and the epoch
+// controller demonstrably moves >= 2 tunables.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/qoslab/amf/internal/control"
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/engine"
+	"github.com/qoslab/amf/internal/obs"
+	"github.com/qoslab/amf/internal/server"
+)
+
+// overloadClasses is the generated traffic mix, by tenths of the
+// request counter: 2/10 critical, 4/10 standard, 4/10 sheddable.
+var overloadClasses = [10]control.Class{
+	control.Critical, control.Critical,
+	control.Standard, control.Standard, control.Standard, control.Standard,
+	control.Sheddable, control.Sheddable, control.Sheddable, control.Sheddable,
+}
+
+// overloadStats accumulates one class's outcomes for one stage.
+type overloadStats struct {
+	sent atomic.Int64
+	ok   atomic.Int64
+	shed atomic.Int64 // 429 responses
+	errs atomic.Int64 // anything else
+	hist *obs.Histogram
+}
+
+// OverloadClassResult is one class's row in the stage report.
+type OverloadClassResult struct {
+	Sent     int64   `json:"sent"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`
+	Errors   int64   `json:"errors"`
+	Goodput  float64 `json:"goodput"`   // ok / sent
+	ShedRate float64 `json:"shed_rate"` // shed / sent
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// OverloadStage is one ramp step of the open-loop run.
+type OverloadStage struct {
+	Multiplier    float64                        `json:"multiplier"`
+	TargetRPS     float64                        `json:"target_rps"`
+	OfferedRPS    float64                        `json:"offered_rps"` // what the generator actually dispatched
+	DurationSecs  float64                        `json:"duration_secs"`
+	ClientDropped int64                          `json:"client_dropped"` // generator semaphore overflow, not server sheds
+	Classes       map[string]OverloadClassResult `json:"classes"`
+	RejectionRate float64                        `json:"controller_rejection_rate"` // controller's view at stage end
+}
+
+// OverloadTunable records one tunable's travel across the run.
+type OverloadTunable struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"`
+	Before   float64 `json:"before"`
+	After    float64 `json:"after"`
+	Moved    bool    `json:"moved"`
+}
+
+// OverloadReport is BENCH_overload.json.
+type OverloadReport struct {
+	Mode              string            `json:"mode"`
+	CalibratedRPS     float64           `json:"calibrated_rps"`
+	BatchPerRequest   int               `json:"observations_per_request"`
+	AdmissionEnabled  bool              `json:"admission_enabled"`
+	AdaptEpochMs      float64           `json:"adapt_epoch_ms"`
+	Stages            []OverloadStage   `json:"stages"`
+	Tunables          []OverloadTunable `json:"tunables"`
+	TunablesMoved     int               `json:"tunables_moved"`
+	ControllerEpochs  int64             `json:"controller_epochs"`
+	ControllerAdjusts int64             `json:"controller_adjustments"`
+	CriticalGoodput4x float64           `json:"critical_goodput_4x"`
+	SheddableShed4x   float64           `json:"sheddable_shed_rate_4x"`
+}
+
+// runOverload drives the whole experiment and writes the JSON report.
+func runOverload(seed int64, stageDur time.Duration, out string) error {
+	const obsPerReq = 16
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	cfg.Seed = seed
+	model, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(model, engine.Config{QueueSize: 512})
+	svc := server.NewWithEngine(eng,
+		server.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	defer svc.Close()
+	adaptEpoch := 250 * time.Millisecond
+	svc.EnableAdmission(server.AdmissionConfig{
+		BudgetStandard:  25 * time.Millisecond,
+		BudgetSheddable: 5 * time.Millisecond,
+	})
+	svc.StartAdaptation(server.AdaptationConfig{Epoch: adaptEpoch})
+	h := svc.Handler()
+
+	// Pre-marshal a pool of distinct observe bodies so the generator's
+	// own cost stays far below the server's per-request cost.
+	bodies := makeObserveBodies(256, obsPerReq)
+
+	// Warm up (registers the users/services, seeds the latency
+	// histograms the gate's cost model reads), then calibrate the
+	// sustainable rate closed-loop: a few workers issuing back-to-back
+	// standard-class requests approximate the service capacity without
+	// queue growth.
+	doOne := func(i int, class control.Class, st *overloadStats) {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/observe",
+			strings.NewReader(bodies[i%len(bodies)]))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(control.ClassHeader, class.String())
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		if st == nil {
+			return
+		}
+		st.hist.ObserveDuration(time.Since(start))
+		st.sent.Add(1)
+		switch {
+		case rec.Code == http.StatusOK:
+			st.ok.Add(1)
+		case rec.Code == http.StatusTooManyRequests:
+			st.shed.Add(1)
+		default:
+			st.errs.Add(1)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		doOne(i, control.Standard, nil)
+	}
+	calibrated := calibrateRate(doOne, 700*time.Millisecond)
+	fmt.Printf("overload: calibrated sustainable rate %.0f req/s (%d observations each)\n",
+		calibrated, obsPerReq)
+
+	ctl := eng.Control()
+	before := snapshotTunables(ctl)
+
+	multipliers := []float64{0.5, 1, 2, 4}
+	report := OverloadReport{
+		Mode:             "overload",
+		CalibratedRPS:    calibrated,
+		BatchPerRequest:  obsPerReq,
+		AdmissionEnabled: true,
+		AdaptEpochMs:     float64(adaptEpoch.Milliseconds()),
+	}
+	for _, mult := range multipliers {
+		stage := runOverloadStage(doOne, svc, calibrated*mult, mult, stageDur)
+		report.Stages = append(report.Stages, stage)
+		fmt.Printf("  %3.1fx: offered %.0f req/s  critical goodput %.4f  standard shed %.3f  sheddable shed %.3f\n",
+			mult, stage.OfferedRPS,
+			stage.Classes["critical"].Goodput,
+			stage.Classes["standard"].ShedRate,
+			stage.Classes["sheddable"].ShedRate)
+	}
+
+	// Tunable travel: compare each tunable's final value against where
+	// it stood after warmup. The controller keeps running between
+	// stages, so this is the honest "did adaptation act" record.
+	after := snapshotTunables(ctl)
+	for _, t := range ctl.List() {
+		b, a := before[t.Name()], after[t.Name()]
+		moved := relDiff(a, b) > 1e-9
+		report.Tunables = append(report.Tunables, OverloadTunable{
+			Name: t.Name(), Baseline: t.BaselineFloat(), Before: b, After: a, Moved: moved,
+		})
+		if moved {
+			report.TunablesMoved++
+		}
+	}
+	if c := svc.Controller(); c != nil {
+		report.ControllerEpochs = c.Epochs()
+		report.ControllerAdjusts = c.Adjustments()
+	}
+	last := report.Stages[len(report.Stages)-1]
+	report.CriticalGoodput4x = last.Classes["critical"].Goodput
+	report.SheddableShed4x = last.Classes["sheddable"].ShedRate
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("overload: %d/%d tunables moved, %d controller epochs, %d adjustments\n",
+		report.TunablesMoved, len(report.Tunables), report.ControllerEpochs, report.ControllerAdjusts)
+	fmt.Printf("overload: critical goodput at 4x = %.4f, sheddable shed rate at 4x = %.3f\n",
+		report.CriticalGoodput4x, report.SheddableShed4x)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// calibrateRate measures the closed-loop service rate: NumCPU/2 (min 2)
+// workers issuing standard-class requests back to back for dur.
+func calibrateRate(doOne func(int, control.Class, *overloadStats), dur time.Duration) float64 {
+	workers := 4
+	st := &overloadStats{hist: obs.NewHistogram(1e-6, 60, 8)}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+					doOne(i, control.Standard, st)
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(st.ok.Load()) / elapsed
+}
+
+// runOverloadStage dispatches an open-loop arrival process at target
+// requests/second for dur: requests launch on schedule regardless of
+// how many are still in flight (a semaphore far above the admitted
+// concurrency bounds memory; overflow is counted, not blocked on).
+func runOverloadStage(doOne func(int, control.Class, *overloadStats), svc *server.Server,
+	target, mult float64, dur time.Duration) OverloadStage {
+	stats := map[control.Class]*overloadStats{}
+	for _, c := range control.Classes() {
+		stats[c] = &overloadStats{hist: obs.NewHistogram(1e-6, 60, 8)}
+	}
+	sem := make(chan struct{}, 16384)
+	var wg sync.WaitGroup
+	var dropped atomic.Int64
+	start := time.Now()
+	dispatched := 0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= dur {
+			break
+		}
+		due := int(elapsed.Seconds() * target)
+		for ; dispatched < due; dispatched++ {
+			class := overloadClasses[dispatched%10]
+			select {
+			case sem <- struct{}{}:
+			default:
+				dropped.Add(1)
+				continue
+			}
+			wg.Add(1)
+			go func(i int, class control.Class) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				doOne(i, class, stats[class])
+			}(dispatched, class)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	offered := time.Since(start)
+	wg.Wait()
+	stage := OverloadStage{
+		Multiplier:    mult,
+		TargetRPS:     target,
+		OfferedRPS:    float64(dispatched) / offered.Seconds(),
+		DurationSecs:  offered.Seconds(),
+		ClientDropped: dropped.Load(),
+		Classes:       map[string]OverloadClassResult{},
+		RejectionRate: svc.ShedRate(),
+	}
+	for _, c := range control.Classes() {
+		st := stats[c]
+		sent := st.sent.Load()
+		res := OverloadClassResult{
+			Sent: sent, OK: st.ok.Load(), Shed: st.shed.Load(), Errors: st.errs.Load(),
+			P50Ms: st.hist.Quantile(0.5) * 1e3,
+			P99Ms: st.hist.Quantile(0.99) * 1e3,
+		}
+		if sent > 0 {
+			res.Goodput = float64(res.OK) / float64(sent)
+			res.ShedRate = float64(res.Shed) / float64(sent)
+		}
+		stage.Classes[c.String()] = res
+	}
+	return stage
+}
+
+// makeObserveBodies pre-marshals n distinct observe request bodies of
+// batch observations each, over a rotating 64x64 user/service square.
+func makeObserveBodies(n, batch int) []string {
+	out := make([]string, n)
+	k := 0
+	for i := range out {
+		obsList := make([]server.Observation, batch)
+		for j := range obsList {
+			obsList[j] = server.Observation{
+				User:    fmt.Sprintf("ou%d", k%64),
+				Service: fmt.Sprintf("os%d", (k*7+3)%64),
+				Value:   0.5 + float64(k%40)/10,
+			}
+			k++
+		}
+		buf, err := json.Marshal(server.ObserveRequest{Observations: obsList})
+		if err != nil {
+			panic(err)
+		}
+		out[i] = string(buf)
+	}
+	return out
+}
+
+// snapshotTunables captures every registered tunable's float view.
+func snapshotTunables(ctl *control.Registry) map[string]float64 {
+	out := map[string]float64{}
+	for _, t := range ctl.List() {
+		out[t.Name()] = t.Float()
+	}
+	return out
+}
+
+// relDiff is |a-b| scaled by max(|a|,|b|,1).
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}

@@ -81,6 +81,8 @@ func run(args []string) error {
 		downAfter = fs.Int("down-after", 3, "consecutive probe failures before a replica is marked down")
 		failover  = fs.Bool("failover", false, "promote the most caught-up follower when a group's leader stays down")
 		fanout    = fs.Int("fanout-threshold", 256, "candidate-set size at which rank/batch queries split across a group's replicas (-1 disables)")
+		edgeShed  = fs.Bool("slo-edge-shed", false, "refuse sheddable-class requests at the gateway when the target shard group reports saturation (429 + Retry-After)")
+		shedThr   = fs.Float64("slo-shed-threshold", 0.5, "group shed rate (max over healthy replicas, probed) at which edge shedding kicks in")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, or error")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
@@ -102,6 +104,8 @@ func run(args []string) error {
 		DownAfter:       *downAfter,
 		Failover:        *failover,
 		FanOutThreshold: *fanout,
+		EdgeShed:        *edgeShed,
+		ShedThreshold:   *shedThr,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -131,7 +135,8 @@ func run(args []string) error {
 		"version", obs.BuildVersion(), "commit", obs.BuildCommit(),
 		"addr", *addr, "groups", len(shards), "vnodes", *vnodes,
 		"probe_interval", *probeIvl, "down_after", *downAfter,
-		"failover", *failover, "fanout_threshold", *fanout)
+		"failover", *failover, "fanout_threshold", *fanout,
+		"slo_edge_shed", *edgeShed, "slo_shed_threshold", *shedThr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

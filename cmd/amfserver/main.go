@@ -72,6 +72,12 @@ func run(args []string) error {
 		coalesceWin  = fs.Duration("rank-coalesce-window", 0, "batch concurrent full-scan /api/v1/rank requests arriving within this window into one arena pass (0 disables)")
 		coalesceMax  = fs.Int("rank-coalesce-max", 16, "max full-scan rank requests per coalesced batch (a full batch flushes before the window expires)")
 
+		sloAdmit     = fs.Bool("slo-admission", false, "enable the SLO admission gate on observe/predict/rank (class header X-Amf-Slo-Class; critical is never shed)")
+		sloBudgetStd = fs.Duration("slo-budget-standard", 2*time.Second, "predicted-wait budget for standard-class requests (with -slo-admission)")
+		sloBudgetShd = fs.Duration("slo-budget-sheddable", 250*time.Millisecond, "predicted-wait budget for sheddable-class requests (with -slo-admission)")
+		sloHeadroom  = fs.Float64("slo-headroom", 1.0, "multiplier on class budgets: admit while predicted wait <= budget*headroom (with -slo-admission)")
+		adaptEpoch   = fs.Duration("adapt-epoch", 0, "epoch-controller period: each epoch adapts engine tunables to the observed rejection rate and queue wait (0 disables adaptation)")
+
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, or error")
 		logFormat  = fs.String("log-format", "text", "log format: text or json")
 		pprofFlag  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -128,6 +134,16 @@ func run(args []string) error {
 	svc.RankCoalesceMax = *coalesceMax
 	if *pprofFlag {
 		svc.EnablePprof()
+	}
+	if *sloAdmit {
+		svc.EnableAdmission(server.AdmissionConfig{
+			BudgetStandard:  *sloBudgetStd,
+			BudgetSheddable: *sloBudgetShd,
+			Headroom:        *sloHeadroom,
+		})
+	}
+	if *adaptEpoch > 0 {
+		svc.StartAdaptation(server.AdaptationConfig{Epoch: *adaptEpoch})
 	}
 	if *dataDir != "" && *state != "" {
 		return errors.New("-data-dir and -state are mutually exclusive (the data directory subsumes the state file)")
@@ -277,6 +293,9 @@ func run(args []string) error {
 		"rank_parallel_threshold", *rankPar, "simd", matrix.SIMD(),
 		"arena_precision", *arenaPrec,
 		"rank_coalesce_window", *coalesceWin, "rank_coalesce_max", *coalesceMax,
+		"slo_admission", *sloAdmit, "slo_budget_standard", *sloBudgetStd,
+		"slo_budget_sheddable", *sloBudgetShd, "slo_headroom", *sloHeadroom,
+		"adapt_epoch", *adaptEpoch,
 		"role", *role, "leader", *leaderURL, "leader_data", *leaderData,
 		"wal", *wal, "state", *state, "data_dir", *dataDir,
 		"fsync", sync.String(), "snapshot_interval", *snapIvl, "wal_segment_bytes", *walSegBytes,

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qoslab/amf/internal/control"
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/obs/trace"
 	"github.com/qoslab/amf/internal/server"
@@ -51,6 +52,14 @@ type Config struct {
 	FanOutThreshold int
 	// MaxBody bounds proxied request bodies (default 64 MiB).
 	MaxBody int64
+	// EdgeShed enables edge shedding: sheddable-class requests aimed at
+	// a shard group whose probed shed rate is at or above ShedThreshold
+	// are refused at the gateway (429 + Retry-After) without a backend
+	// round trip. Standard and critical traffic always passes through.
+	EdgeShed bool
+	// ShedThreshold is the group shed rate (max over healthy replicas,
+	// from the probe loop) at which edge shedding kicks in (default 0.5).
+	ShedThreshold float64
 	// Logger receives lifecycle and failover events (default slog.Default()).
 	Logger *slog.Logger
 	// HTTP is the client for proxying and probing; nil builds one with a
@@ -69,6 +78,7 @@ type replica struct {
 	epoch      atomic.Uint64 // durable directory claim epoch (0 = non-durable)
 	fenced     atomic.Bool   // lost its directory claim; never promotable
 	lagSecs    atomic.Uint64 // follower time-lag, Float64bits (federation gauge)
+	shedRate   atomic.Uint64 // last-probed shed/rejection rate, Float64bits
 }
 
 func (rep *replica) Health() Health { return Health(rep.health.Load()) }
@@ -99,6 +109,7 @@ type Gateway struct {
 	proxySeconds *obs.HistogramVec
 	proxyErrors  *obs.Counter
 	fanouts      *obs.Counter
+	edgeSheds    *obs.Counter
 	failovers    *obs.Counter
 	demotions    *obs.Counter
 	probeErrors  *obs.Counter
@@ -134,6 +145,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
+	}
+	if cfg.ShedThreshold <= 0 {
+		cfg.ShedThreshold = 0.5
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
@@ -234,6 +248,8 @@ func (g *Gateway) buildMetrics() {
 		"Backend requests that failed (connection errors or non-2xx).")
 	g.fanouts = r.NewCounter("amf_cluster_fanouts_total",
 		"Rank/batch requests split across a group's replicas.")
+	g.edgeSheds = r.NewCounter("amf_admission_edge_shed_total",
+		"Sheddable-class requests refused at the gateway because the target shard group reported saturation.")
 	g.failovers = r.NewCounter("amf_cluster_failovers_total",
 		"Leader promotions driven by the gateway.")
 	g.demotions = r.NewCounter("amf_cluster_demotions_total",
@@ -301,6 +317,7 @@ func (g *Gateway) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 		sp := g.traces.Start(trace.NewID(), 0, route)
 		w.Header()[requestIDHeader] = []string{sp.Trace.String()}
 		r = r.WithContext(trace.NewContext(r.Context(), sp))
+		r = classify(r) // SLO class rides the context to every proxy leg
 		h(w, r)
 		d := time.Since(start)
 		hist.Observe(d.Seconds())
@@ -403,6 +420,7 @@ func (g *Gateway) postJSON(ctx context.Context, url string, body, out any) error
 	req.Header.Set("Content-Type", "application/json")
 	sp := trace.FromContext(ctx)
 	stampTrace(req, sp)
+	stampClass(req, control.FromContext(ctx))
 	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
@@ -452,10 +470,11 @@ func (g *Gateway) forwardRaw(w http.ResponseWriter, r *http.Request, url string,
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	// Tracing on the raw path touches headers only: the body and response
-	// still stream through untouched.
+	// Tracing and class propagation on the raw path touch headers only:
+	// the body and response still stream through untouched.
 	sp := trace.FromContext(r.Context())
 	stampTrace(req, sp)
+	stampClass(req, control.FromContext(r.Context()))
 	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
@@ -606,6 +625,7 @@ type ReplicaStatus struct {
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
 	Epoch      uint64 `json:"epoch,omitempty"`
 	Fenced     bool   `json:"fenced,omitempty"`
+	ShedRate   float64 `json:"shed_rate,omitempty"`
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -627,6 +647,7 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, _ *http.Request) {
 				URL: rep.url, Health: rep.Health().String(), Role: role,
 				WALSeq: rep.walSeq.Load(), AppliedSeq: rep.appliedSeq.Load(),
 				Epoch: rep.epoch.Load(), Fenced: rep.fenced.Load(),
+				ShedRate: rep.shedRateValue(),
 			})
 		}
 		out.Groups = append(out.Groups, gs)
@@ -651,6 +672,9 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// Single-group deployments need no bucketing: the whole batch goes to
 	// the one leader verbatim (the backend still validates it).
 	if len(g.groups) == 1 {
+		if g.edgeShed(w, r, g.groups[0]) {
+			return
+		}
 		g.forwardRaw(w, r, g.groups[0].writeTarget().url+"/api/v1/observe", raw)
 		return
 	}
@@ -667,10 +691,22 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 	for _, o := range req.Observations {
 		grp := g.groupFor(o.User)
 		if grp == nil {
-			g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+			g.unavailable(w)
 			return
 		}
 		buckets[grp] = append(buckets[grp], o)
+	}
+	// Edge shedding is all-or-nothing for a batch: refusing only the
+	// saturated groups' buckets would leave the same partial-application
+	// hazard the error path below exists for, so a sheddable batch
+	// touching ANY saturated group is refused whole (nothing trained,
+	// retry is safe).
+	targets := make([]*group, 0, len(buckets))
+	for grp := range buckets {
+		targets = append(targets, grp)
+	}
+	if g.edgeShed(w, r, targets...) {
+		return
 	}
 	var (
 		mu       sync.Mutex
@@ -728,7 +764,10 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	grp := g.groupFor(user)
 	if grp == nil {
-		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		g.unavailable(w)
+		return
+	}
+	if g.edgeShed(w, r, grp) {
 		return
 	}
 	target := grp.readTarget().url + "/api/v1/predict?" + r.URL.RawQuery
@@ -739,6 +778,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	sp := trace.FromContext(r.Context())
 	stampTrace(req, sp)
+	stampClass(req, control.FromContext(r.Context()))
 	child := g.traces.StartChild(sp, "backend "+req.URL.Host)
 	resp, err := g.http.Do(req)
 	if err != nil {
@@ -780,7 +820,10 @@ func (g *Gateway) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 	}
 	grp := g.groupFor(user)
 	if grp == nil {
-		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		g.unavailable(w)
+		return
+	}
+	if g.edgeShed(w, r, grp) {
 		return
 	}
 	reps := grp.healthyReplicas()
@@ -850,7 +893,10 @@ func (g *Gateway) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	grp := g.groupFor(user)
 	if grp == nil {
-		g.writeError(w, http.StatusServiceUnavailable, "no shard groups available")
+		g.unavailable(w)
+		return
+	}
+	if g.edgeShed(w, r, grp) {
 		return
 	}
 	reps := grp.healthyReplicas()
@@ -999,6 +1045,7 @@ func (g *Gateway) probe(rep *replica) {
 	rep.health.Store(int32(Healthy))
 	rep.epoch.Store(st.Epoch)
 	rep.fenced.Store(st.Fenced)
+	rep.shedRate.Store(math.Float64bits(st.ShedRate))
 	// A fenced server lost its durable-directory claim: whatever role it
 	// reports, it cannot accept writes, so never treat it as a leader.
 	if st.Role == "leader" && !st.Fenced {

@@ -53,6 +53,10 @@ func TestMetricsDocumented(t *testing.T) {
 	if _, err := svc.AttachDurable(mgr); err != nil {
 		t.Fatalf("AttachDurable: %v", err)
 	}
+	// The SLO admission gate (amf_admission_*) and the epoch controller
+	// (amf_control_*); the hour-long epoch keeps the controller idle.
+	svc.EnableAdmission(server.AdmissionConfig{})
+	svc.StartAdaptation(server.AdaptationConfig{Epoch: time.Hour})
 	collect(svc.Registry())
 
 	// A follower adds the replication families (amf_replication_*); it

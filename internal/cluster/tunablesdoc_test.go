@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/qoslab/amf/internal/core"
+	"github.com/qoslab/amf/internal/server"
+)
+
+// TestTunablesDocumented is the tunables-docs lint behind `make
+// lint-tunables`: it instantiates a server with the SLO admission gate
+// enabled (the full control-plane namespace — engine tunables plus the
+// gate's budgets), lists every registered tunable through
+// GET /api/v1/config, and fails if any name is missing from README.md's
+// tunables table. Adding a tunable without documenting it breaks
+// `make ci` — same contract as TestMetricsDocumented for metrics.
+func TestTunablesDocumented(t *testing.T) {
+	cfg := core.DefaultConfig(-0.007, 0, 20)
+	cfg.Expiry = 0
+	svc := server.New(core.MustNew(cfg), server.WithLogger(quietLogger()))
+	defer svc.Close()
+	svc.EnableAdmission(server.AdmissionConfig{})
+
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/config", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/v1/config: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var list server.ConfigResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("decode config response: %v", err)
+	}
+	if len(list.Tunables) == 0 {
+		t.Fatal("GET /api/v1/config returned no tunables")
+	}
+
+	// Documented names: every tunable-shaped token (dotted lowercase
+	// identifier) inside a README table row.
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	nameRE := regexp.MustCompile(`[a-z][a-z0-9_]*\.[a-z][a-z0-9_.]*`)
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(readme), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, name := range nameRE.FindAllString(line, -1) {
+			documented[name] = true
+		}
+	}
+
+	var missing []string
+	for _, ti := range list.Tunables {
+		if !documented[ti.Name] {
+			missing = append(missing, ti.Name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("tunables missing from README.md's tunables table (add a row per name):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,141 @@
+package control
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"critical", Critical, true},
+		{"standard", Standard, true},
+		{"sheddable", Sheddable, true},
+		{"", Standard, false},
+		{"CRITICAL", Standard, false},
+		{"bulk", Standard, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseClass(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	h := http.Header{}
+	if got := ClassFromHeader(h); got != Standard {
+		t.Errorf("missing header: got %v, want standard", got)
+	}
+	h.Set(ClassHeader, "sheddable")
+	if got := ClassFromHeader(h); got != Sheddable {
+		t.Errorf("sheddable header: got %v", got)
+	}
+	for _, c := range Classes() {
+		rt, ok := ParseClass(c.String())
+		if !ok || rt != c {
+			t.Errorf("round trip %v failed: %v %v", c, rt, ok)
+		}
+	}
+}
+
+func TestClassContext(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != Standard {
+		t.Fatalf("empty context: got %v", got)
+	}
+	ctx = NewContext(ctx, Critical)
+	if got := FromContext(ctx); got != Critical {
+		t.Fatalf("stamped context: got %v", got)
+	}
+}
+
+func TestTunableBoundsAndSources(t *testing.T) {
+	r := NewRegistry()
+	ti := r.Int("t.int", "help", 100, 10, 1000, SourceDefault)
+	td := r.Duration("t.dur", "help", 50*time.Millisecond, time.Millisecond, 5*time.Second, SourceFlag)
+	tf := r.Float("t.float", "help", 0.9, 0.05, 1.0, SourceDefault)
+
+	if ti.Load() != 100 || td.Load() != 50*time.Millisecond || tf.Load() != 0.9 {
+		t.Fatal("baselines not seeded")
+	}
+	if td.Source() != SourceFlag {
+		t.Fatalf("flag source lost: %v", td.Source())
+	}
+
+	// Typed Set clamps.
+	if got := ti.Set(5000, SourceAdapted); got != 1000 {
+		t.Fatalf("Set clamp high: got %d", got)
+	}
+	if got := ti.Set(1, SourceAdapted); got != 10 {
+		t.Fatalf("Set clamp low: got %d", got)
+	}
+	if ti.Source() != SourceAdapted {
+		t.Fatalf("source not updated: %v", ti.Source())
+	}
+
+	// SetFloat clamps too (durations move in seconds).
+	if got := td.SetFloat(100, SourceAdapted); got != 5.0 {
+		t.Fatalf("duration SetFloat clamp: got %g", got)
+	}
+	if td.Load() != 5*time.Second {
+		t.Fatalf("duration store: got %v", td.Load())
+	}
+
+	// SetString is strict: out-of-bounds is an error, value untouched.
+	if err := tf.SetString("2.0", SourceOverride); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	if tf.Load() != 0.9 {
+		t.Fatalf("failed SetString must not move value: %g", tf.Load())
+	}
+	if err := tf.SetString("0.5", SourceOverride); err != nil {
+		t.Fatalf("SetString: %v", err)
+	}
+	if tf.Load() != 0.5 || tf.Source() != SourceOverride {
+		t.Fatalf("override not applied: %g %v", tf.Load(), tf.Source())
+	}
+	if err := ti.SetString("abc", SourceOverride); err == nil {
+		t.Fatal("expected parse error")
+	}
+
+	// Registry views.
+	if _, ok := r.Lookup("t.dur"); !ok {
+		t.Fatal("Lookup miss")
+	}
+	list := r.List()
+	if len(list) != 3 || list[0].Name() != "t.dur" && list[0].Name() != "t.float" && list[0].Name() != "t.int" {
+		t.Fatalf("List: %d entries", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Name() >= list[i].Name() {
+			t.Fatal("List not sorted by name")
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Int("dup", "h", 1, 0, 10, SourceDefault)
+	mustPanic(t, "duplicate name", func() { r.Float("dup", "h", 0.5, 0, 1, SourceDefault) })
+	mustPanic(t, "baseline out of bounds", func() { r.Int("oob", "h", 100, 0, 10, SourceDefault) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestFlagSource(t *testing.T) {
+	if FlagSource(true) != SourceFlag || FlagSource(false) != SourceDefault {
+		t.Fatal("FlagSource mapping wrong")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qoslab/amf/internal/control"
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/stream"
@@ -93,6 +94,15 @@ type Config struct {
 	// in the parallel trainer (benchmarking only — see
 	// core.TrainerConfig.Unsynchronized). Ignored when TrainWorkers <= 1.
 	TrainUnsync bool
+	// Control, when non-nil, is the runtime-tunable registry the engine
+	// declares its adaptive knobs on (publish interval/quantum, ingest
+	// batch cap, replay per batch, per-class admission watermarks). The
+	// Config fields above seed the *baselines*; after construction the
+	// writer loop reads the live values through the registry, so an
+	// epoch controller or the config API can move them within bounds at
+	// runtime. Nil gets a private registry — the engine then behaves
+	// exactly like the frozen-Config engine it replaced.
+	Control *control.Registry
 	// ArenaFloat32 publishes read views with float32 factor arenas:
 	// half the bytes per row on the rank scan's memory stream, at a
 	// one-time rounding of the published factors (training stays
@@ -149,6 +159,8 @@ type Stats struct {
 	Dropped       int64  // samples dropped under overload (DroppedNew + DroppedOldest)
 	DroppedNew    int64  // incoming samples shed after the drop-oldest spin gave up
 	DroppedOldest int64  // queued samples evicted to admit fresher ones
+	ShedStandard  int64  // standard-class samples refused at the admission watermark
+	ShedSheddable int64  // sheddable-class samples refused at the admission watermark
 	Applied       int64  // samples applied to the model (ingest + sync batches)
 	Replayed      int64  // replay updates performed by/through the engine
 	Published     int64  // views published
@@ -280,9 +292,22 @@ type Engine struct {
 	enqueued      atomic.Int64
 	droppedNew    atomic.Int64
 	droppedOldest atomic.Int64
+	shedStandard  atomic.Int64
+	shedSheddable atomic.Int64
 	applied       atomic.Int64
 	replayed      atomic.Int64
 	published     atomic.Int64
+
+	// Control-plane tunables (see Config.Control). The writer loop and
+	// admission checks read these with one atomic load each; the Config
+	// fields they were seeded from are never consulted again after New.
+	ctl                *control.Registry
+	tunPublishInterval *control.Duration
+	tunPublishEvery    *control.Int
+	tunBatchCap        *control.Int
+	tunReplayPerBatch  *control.Int
+	tunAdmitStandard   *control.Float
+	tunAdmitSheddable  *control.Float
 
 	// Observability (read by scrapers without any lock): latency
 	// histograms plus atomic mirrors of the mu-guarded publish
@@ -296,6 +321,7 @@ type Engine struct {
 // The caller must not use the model directly afterwards. Close releases
 // the writer.
 func New(model *core.Model, cfg Config) *Engine {
+	raw := cfg // pre-default values: distinguishes flag-set from defaulted baselines
 	cfg = cfg.withDefaults()
 	model.SetArenaFloat32(cfg.ArenaFloat32)
 	e := &Engine{
@@ -307,6 +333,7 @@ func New(model *core.Model, cfg Config) *Engine {
 		stop:    make(chan struct{}),
 		metrics: newMetrics(),
 	}
+	e.registerTunables(raw)
 	for i := range e.shards {
 		e.shards[i] = make(chan queued, cfg.QueueSize)
 	}
@@ -325,6 +352,63 @@ func New(model *core.Model, cfg Config) *Engine {
 	go e.loop()
 	return e
 }
+
+// registerTunables declares the engine's adaptive knobs on the control
+// registry (cfg.Control, or a private one). Bounds scale with the
+// operator's baseline — a controller may trade freshness for throughput
+// by up to 64× in either direction, but never invert the operator's
+// intent by orders of magnitude. raw is the pre-default Config, used
+// only to attribute each baseline to a flag or a package default.
+func (e *Engine) registerTunables(raw Config) {
+	ctl := e.cfg.Control
+	if ctl == nil {
+		ctl = control.NewRegistry()
+	}
+	e.ctl = ctl
+	ivl := e.cfg.PublishInterval
+	e.tunPublishInterval = ctl.Duration("engine.publish_interval",
+		"View republish deadline T; the epoch controller widens it under overload to spend less writer time recloning views.",
+		ivl, ivl/64, ivl*64, control.FlagSource(raw.PublishInterval > 0))
+	every := e.cfg.PublishEvery
+	minEvery := every / 64
+	if minEvery < 1 {
+		minEvery = 1
+	}
+	e.tunPublishEvery = ctl.Int("engine.publish_every",
+		"View republish quantum K (updates between republishes).",
+		every, minEvery, every*64, control.FlagSource(raw.PublishEvery > 0))
+	batch := every
+	if batch < 64 {
+		batch = 64
+	}
+	e.tunBatchCap = ctl.Int("engine.ingest_batch_cap",
+		"Max queued samples drained per writer pass; the epoch controller raises it under overload to amortize per-batch costs.",
+		batch, 64, batch*64, control.FlagSource(raw.PublishEvery > 0))
+	replay := e.cfg.ReplayPerBatch
+	maxReplay := replay * 64
+	if maxReplay < 1024 {
+		maxReplay = 1024
+	}
+	e.tunReplayPerBatch = ctl.Int("engine.replay_per_batch",
+		"Replay updates interleaved after each drained ingest batch; shed first under overload (replay is optional work).",
+		replay, 0, maxReplay, control.FlagSource(raw.ReplayPerBatch > 0))
+	e.tunAdmitStandard = ctl.Float("engine.admit_standard_watermark",
+		"Ingest-shard occupancy above which standard-class enqueues are refused.",
+		0.95, 0.05, 1.0, control.SourceDefault)
+	e.tunAdmitSheddable = ctl.Float("engine.admit_sheddable_watermark",
+		"Ingest-shard occupancy above which sheddable-class enqueues are refused; the epoch controller lowers it to widen shedding.",
+		0.90, 0.05, 1.0, control.SourceDefault)
+}
+
+// Control returns the engine's runtime-tunable registry (the one passed
+// in Config.Control, or the private default). The server hangs its own
+// admission tunables, the config API, and the epoch controller off it.
+func (e *Engine) Control() *control.Registry { return e.ctl }
+
+// Closed reports whether Close has begun. Ingest producers use it to
+// distinguish "engine shutting down" (fall back to inline Observe) from
+// "admission refused" (shed the sample).
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // Close stops the writer goroutine after a final drain-and-publish, so
 // samples accepted before Close are reflected in the last published view.
@@ -366,14 +450,53 @@ func (e *Engine) shardFor(user int) chan queued {
 // old samples). It reports whether the new sample was admitted; drops of
 // either kind are counted in Stats.Dropped.
 func (e *Engine) Enqueue(s stream.Sample) bool {
+	return e.EnqueueClass(s, control.Critical)
+}
+
+// EnqueueClass is Enqueue with bounded-queue admission by SLO class:
+// critical samples are always admitted (up to drop-oldest, exactly the
+// old Enqueue semantics), standard and sheddable samples are refused —
+// not enqueued, counted in Stats.ShedStandard/ShedSheddable — once
+// their shard's occupancy crosses the class watermark tunable. Refusing
+// at a watermark below 100% keeps headroom for more important classes
+// and sheds *new* low-value work instead of churning the queue with
+// drop-oldest evictions.
+func (e *Engine) EnqueueClass(s stream.Sample, class control.Class) bool {
 	if e.closed.Load() {
 		return false
 	}
-	if !e.enqueueOn(e.shardFor(s.User), queued{s: s, enq: time.Now().UnixNano()}) {
+	ch := e.shardFor(s.User)
+	if !e.admitOn(ch, class) {
+		return false
+	}
+	if !e.enqueueOn(ch, queued{s: s, enq: time.Now().UnixNano()}) {
 		return false
 	}
 	e.signal()
 	return true
+}
+
+// admitOn checks one shard's occupancy against the class watermark,
+// counting refused samples per class.
+func (e *Engine) admitOn(ch chan queued, class control.Class) bool {
+	var wm float64
+	switch class {
+	case control.Critical:
+		return true
+	case control.Standard:
+		wm = e.tunAdmitStandard.Load()
+	default:
+		wm = e.tunAdmitSheddable.Load()
+	}
+	if float64(len(ch)) < wm*float64(cap(ch)) {
+		return true
+	}
+	if class == control.Standard {
+		e.shedStandard.Add(1)
+	} else {
+		e.shedSheddable.Add(1)
+	}
+	return false
 }
 
 // enqueueOn admits one entry into a shard channel with drop-oldest
@@ -411,6 +534,14 @@ func (e *Engine) enqueueOn(ch chan queued, q queued) bool {
 // channel. Per-user ordering is preserved: a user maps to exactly one
 // shard and the per-shard groups keep arrival order.
 func (e *Engine) EnqueueAll(ss []stream.Sample) int {
+	return e.EnqueueAllClass(ss, control.Critical)
+}
+
+// EnqueueAllClass is EnqueueAll with per-class admission (see
+// EnqueueClass). Replication apply and WAL replay go through EnqueueAll
+// — already-acknowledged samples are critical by definition; only new
+// ingest traffic is classed lower.
+func (e *Engine) EnqueueAllClass(ss []stream.Sample, class control.Class) int {
 	if e.closed.Load() || len(ss) == 0 {
 		return 0
 	}
@@ -421,7 +552,8 @@ func (e *Engine) EnqueueAll(ss []stream.Sample) int {
 	n := 0
 	if len(ss) <= 16 {
 		for _, s := range ss {
-			if e.enqueueOn(e.shards[s.User&mask], queued{s: s, enq: now}) {
+			ch := e.shards[s.User&mask]
+			if e.admitOn(ch, class) && e.enqueueOn(ch, queued{s: s, enq: now}) {
 				n++
 			}
 		}
@@ -434,7 +566,7 @@ func (e *Engine) EnqueueAll(ss []stream.Sample) int {
 		for si, g := range groups {
 			ch := e.shards[si]
 			for _, s := range g {
-				if e.enqueueOn(ch, queued{s: s, enq: now}) {
+				if e.admitOn(ch, class) && e.enqueueOn(ch, queued{s: s, enq: now}) {
 					n++
 				}
 			}
@@ -714,6 +846,8 @@ func (e *Engine) Stats() Stats {
 		Dropped:       dn + do,
 		DroppedNew:    dn,
 		DroppedOldest: do,
+		ShedStandard:  e.shedStandard.Load(),
+		ShedSheddable: e.shedSheddable.Load(),
 		Applied:       e.applied.Load(),
 		Replayed:      e.replayed.Load(),
 		Published:     e.published.Load(),
@@ -738,7 +872,8 @@ func (e *Engine) signal() {
 
 func (e *Engine) loop() {
 	defer e.wg.Done()
-	ticker := time.NewTicker(e.cfg.PublishInterval)
+	ivl := e.tunPublishInterval.Load()
+	ticker := time.NewTicker(ivl)
 	defer ticker.Stop()
 	for {
 		select {
@@ -793,6 +928,14 @@ func (e *Engine) loop() {
 			e.publishIfDueLocked()
 			e.mu.Unlock()
 		case <-ticker.C:
+			// The housekeeping tick is where an adapted publish interval
+			// takes effect: cheap (one atomic load per tick), and an
+			// epoch's worth of delay to react is fine for a knob that
+			// trades freshness for throughput.
+			if cur := e.tunPublishInterval.Load(); cur != ivl {
+				ivl = cur
+				ticker.Reset(ivl)
+			}
 			e.mu.Lock()
 			e.drainLocked()
 			e.publishIfDueLocked()
@@ -801,10 +944,11 @@ func (e *Engine) loop() {
 	}
 }
 
-// drainLocked applies queued samples, bounded to one publish quantum (K)
-// per call so a firehose cannot monopolize the writer and starve
-// publication; leftovers re-signal the loop, which publishes between
-// drains via publishIfDueLocked. Queue-wait latency is measured against
+// drainLocked applies queued samples, bounded to the ingest_batch_cap
+// tunable (baseline: one publish quantum K) per call so a firehose
+// cannot monopolize the writer and starve publication; leftovers
+// re-signal the loop, which publishes between drains via
+// publishIfDueLocked. Queue-wait latency is measured against
 // the drain start (a lower bound for samples drained later in the batch),
 // and the batch apply time is attributed to each update as its mean — one
 // pair of clock reads per drain, not per update.
@@ -823,10 +967,7 @@ func (e *Engine) loop() {
 // workers run — fan-outs are fork-join, so the quiescent windows between
 // drains are the only publish points, same as the serial path.
 func (e *Engine) drainLocked() {
-	budget := e.cfg.PublishEvery
-	if budget < 64 {
-		budget = 64
-	}
+	budget := e.tunBatchCap.Load()
 	start := time.Now()
 	startNano := start.UnixNano()
 	parallel := e.trainer != nil
@@ -931,7 +1072,7 @@ func (e *Engine) applyLocked(ss []stream.Sample) uint64 {
 }
 
 func (e *Engine) replayLocked() {
-	n := e.cfg.ReplayPerBatch
+	n := e.tunReplayPerBatch.Load()
 	if n <= 0 {
 		return
 	}
@@ -962,7 +1103,7 @@ func (e *Engine) publishIfDueLocked() {
 	if e.sincePublish == 0 {
 		return
 	}
-	if e.sincePublish >= e.cfg.PublishEvery || time.Since(e.lastPublish) >= e.cfg.PublishInterval {
+	if e.sincePublish >= e.tunPublishEvery.Load() || time.Since(e.lastPublish) >= e.tunPublishInterval.Load() {
 		e.publishLocked()
 	}
 }

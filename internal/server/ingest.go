@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/qoslab/amf/internal/control"
 	"github.com/qoslab/amf/internal/stream"
 )
 
@@ -54,7 +55,14 @@ func (s *Server) Ingest(user, service string, value float64, timestampMs int64) 
 	// Live accuracy: one lock-free view read scores the sample against
 	// the model's prior prediction before it trains on it.
 	s.scoreSample(sample)
-	if !s.eng.Enqueue(sample) {
+	// TCP ingest is the fire-and-forget firehose: it enters the engine
+	// queue as sheddable-class work, so under overload the watermark
+	// refuses it (counted in amf_admission_shed_total{class="sheddable"})
+	// instead of churning the queue. A refusal is not an error — the
+	// stream protocol has no per-sample ack and the model prefers fresh
+	// data anyway. Only a closed engine falls back to inline apply, so
+	// accepted pre-shutdown observations are never lost.
+	if !s.eng.EnqueueClass(sample, control.Sheddable) && s.eng.Closed() {
 		s.eng.Observe(sample)
 	}
 	s.metrics.observations.Add(1)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qoslab/amf/internal/control"
 	"github.com/qoslab/amf/internal/obs"
 	"github.com/qoslab/amf/internal/obs/trace"
 	"github.com/qoslab/amf/internal/stream"
@@ -133,6 +134,47 @@ func (s *Server) buildMetrics() {
 			"Training fan-outs coordinated across the worker pool.",
 			tm.Batches.Value)
 	}
+
+	// SLO admission (see admission.go). Families are registered even
+	// while the gate is disabled — they read zero — so the metrics
+	// surface does not depend on flags. amf_admission_shed_total is the
+	// unified shed accounting: the per-class series fold the server
+	// gate's refusals together with the engine's queue-level losses, so
+	// drop-oldest churn under pressure is visible as sheddable-class
+	// loss next to gate sheds instead of hiding in amf_engine_dropped_total.
+	admReqVec := r.NewCounterVec("amf_admission_requests_total",
+		"Requests evaluated by the SLO admission gate, by class (0 while admission is disabled).", "class")
+	for _, c := range control.Classes() {
+		s.admReq[c] = admReqVec.With(c.String())
+	}
+	shedVec := r.NewCounterFuncVec("amf_admission_shed_total",
+		"Work refused under overload, by SLO class: gate refusals plus engine queue sheds; the sheddable series also folds in the engine's drop-oldest/drop-new losses (the async ingest queue is sheddable-class work).", "class")
+	shedVec.With(control.Critical.String(), func() int64 {
+		return s.admShed[control.Critical].Load() // 0 by construction: critical is never shed
+	})
+	shedVec.With(control.Standard.String(), func() int64 {
+		return s.admShed[control.Standard].Load() + eng.Stats().ShedStandard
+	})
+	shedVec.With(control.Sheddable.String(), func() int64 {
+		st := eng.Stats()
+		return s.admShed[control.Sheddable].Load() + st.ShedSheddable + st.Dropped
+	})
+	reasonVec := r.NewCounterVec("amf_admission_shed_reasons_total",
+		"Gate refusals by reason: slo_budget (predicted wait over budget) or queue_watermark (ingest occupancy over the class watermark).", "reason")
+	s.admReasons = map[string]*obs.Counter{
+		shedReasonBudget:    reasonVec.With(shedReasonBudget),
+		shedReasonWatermark: reasonVec.With(shedReasonWatermark),
+	}
+	s.admWaitEst = obs.NewHistogram(1e-6, 600, 8)
+	r.RegisterHistogram("amf_admission_wait_estimate_seconds",
+		"Predicted wait computed by the admission gate for non-critical requests.", s.admWaitEst)
+	r.GaugeFunc("amf_admission_enabled", "1 while the SLO admission gate is active.",
+		func() float64 {
+			if s.gate.Load() != nil {
+				return 1
+			}
+			return 0
+		})
 
 	// HTTP middleware metrics.
 	s.httpHist = r.NewHistogramVec("amf_http_request_duration_seconds",

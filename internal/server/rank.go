@@ -19,7 +19,7 @@ import (
 
 // rankRoutes registers the ranking endpoint; called from routes().
 func (s *Server) rankRoutes() {
-	s.handle("POST /api/v1/rank", s.handleRank)
+	s.handle("POST /api/v1/rank", s.gated("POST /api/v1/rank", s.handleRank))
 }
 
 // rankWorkers returns the fan-out width for a candidate set of size n:

@@ -76,6 +76,12 @@ type ClusterStatusResponse struct {
 	// Fenced reports that this server's durable store lost the directory
 	// claim — it no longer accepts writes regardless of role.
 	Fenced bool `json:"fenced,omitempty"`
+	// ShedRate is the fraction of admission-considered work this server
+	// refused over its last measurement window (the epoch controller's
+	// rate when adaptation runs, else the gate's rolling window). The
+	// gateway treats a group whose replicas report a high rate as
+	// saturated and sheds sheddable traffic at the edge.
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // replicationRoutes registers the cluster control plane; called from
@@ -105,6 +111,10 @@ func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
 			w.Header().Set("X-Amf-Leader", l)
 		}
 	}
+	// Role changes resolve on probe/failover timescales, not request
+	// timescales: tell well-behaved clients to back off a beat.
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(ShedReasonHeader, "follower")
 	s.writeError(w, http.StatusServiceUnavailable, "follower: writes must go to the leader")
 	return true
 }
@@ -220,7 +230,10 @@ func (s *Server) DrainReplication(timeout time.Duration) bool {
 }
 
 func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
-	resp := ClusterStatusResponse{Role: "leader", Durable: s.durable != nil, Streams: s.replActive.Load()}
+	resp := ClusterStatusResponse{
+		Role: "leader", Durable: s.durable != nil,
+		Streams: s.replActive.Load(), ShedRate: s.ShedRate(),
+	}
 	if s.durable != nil {
 		resp.WALSeq = s.durable.WAL().LastSeq()
 		resp.Epoch = s.durable.Epoch()

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/qoslab/amf/internal/control"
 	"github.com/qoslab/amf/internal/core"
 	"github.com/qoslab/amf/internal/engine"
 	"github.com/qoslab/amf/internal/obs"
@@ -88,6 +89,17 @@ type Server struct {
 	statusClass      [6]*obs.Counter // 0 unused; 1..5 = 1xx..5xx
 	acc              *obs.AccuracyTracker
 	traces           *trace.Recorder
+
+	// SLO admission + control plane (see admission.go): gate is nil
+	// until EnableAdmission, ctrl nil until StartAdaptation. The
+	// admission metric families are always registered (zero while
+	// disabled) so dashboards and the docs lint see a stable surface.
+	gate       atomic.Pointer[admissionGate]
+	ctrl       atomic.Pointer[control.Controller]
+	admReq     [control.NumClasses]*obs.Counter
+	admShed    [control.NumClasses]atomic.Int64
+	admReasons map[string]*obs.Counter
+	admWaitEst *obs.Histogram
 	log              *slog.Logger
 	logDebug         bool // cached log.Enabled(debug); refreshed by SetLogger
 	slowThreshold    time.Duration
@@ -205,6 +217,9 @@ func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		s.log.Info("server closing", "component", "server")
 	}
+	if c := s.ctrl.Load(); c != nil {
+		c.Stop()
+	}
 	if rp := s.repl; rp != nil {
 		rp.Stop()
 	}
@@ -225,11 +240,16 @@ func (s *Server) Traces() *trace.Recorder { return s.traces }
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("GET /readyz", s.handleReady)
-	s.handle("POST /api/v1/observe", s.handleObserve)
-	s.handle("GET /api/v1/predict", s.handlePredict)
-	s.handle("POST /api/v1/predict", s.handleBatchPredict)
+	// The expensive API routes pass through the SLO admission gate
+	// (inert until EnableAdmission — one atomic load while disabled).
+	// Health, metrics, config, and cluster control stay ungated: an
+	// overloaded server must remain observable and steerable.
+	s.handle("POST /api/v1/observe", s.gated("POST /api/v1/observe", s.handleObserve))
+	s.handle("GET /api/v1/predict", s.gated("GET /api/v1/predict", s.handlePredict))
+	s.handle("POST /api/v1/predict", s.gated("POST /api/v1/predict", s.handleBatchPredict))
 	s.rankRoutes()
 	s.handle("GET /api/v1/stats", s.handleStats)
+	s.configRoutes()
 	s.handle("GET /api/v1/users", s.handleListUsers)
 	s.handle("GET /api/v1/services", s.handleListServices)
 	s.handle("DELETE /api/v1/users", s.handleDeleteUser)
